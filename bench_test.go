@@ -1,0 +1,126 @@
+package repro
+
+// One benchmark per experiment in the DESIGN.md index. The benchmarks run
+// the same workloads as cmd/experiments at reduced scale, so `go test
+// -bench=. -benchmem` regenerates every table's underlying computation and
+// reports its cost. Custom metrics expose the experiment's headline
+// number alongside ns/op.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkE1ManualVsAutomated(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E1ManualVsAutomated(1, 30)
+		share = rows[0].WranglingShare
+	}
+	b.ReportMetric(share*100, "manual_wrangling_%")
+}
+
+func BenchmarkE2UserContexts(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E2UserContexts(1, 12)
+		gap = rows[1].Recall - rows[0].Recall
+	}
+	b.ReportMetric(gap*100, "recall_gap_%")
+}
+
+func BenchmarkE3ContextExtraction(b *testing.B) {
+	var repaired float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E3ContextExtraction(1, 6)
+		repaired = rows[3].RepairedRate
+	}
+	b.ReportMetric(repaired*100, "auto_repaired_%")
+}
+
+func BenchmarkE4EvidenceTypes(b *testing.B) {
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E4EvidenceTypes(1, 10)
+		f1 = rows[3].F1
+	}
+	b.ReportMetric(f1, "all_evidence_F1")
+}
+
+func BenchmarkE5PayAsYouGo(b *testing.B) {
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E5PayAsYouGo(1, 8, 2, 20)
+		f1 = rows[len(rows)-1].ERF1
+	}
+	b.ReportMetric(f1, "final_ER_F1")
+}
+
+func BenchmarkE5bSharedVsSiloed(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E5bSharedVsSiloed(1, 8)
+		gap = rows[3].ERF1 - rows[0].ERF1
+	}
+	b.ReportMetric(gap, "shared_ER_F1_gain")
+}
+
+func BenchmarkE6BoundedEvaluation(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E6BoundedEvaluation([]int{10000, 100000})
+		last := rows[len(rows)-1]
+		ratio = float64(last.ScanWork) / float64(last.BoundedWork)
+	}
+	b.ReportMetric(ratio, "scan_over_bounded_work")
+}
+
+func BenchmarkE7CQApproximation(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E7CQApproximation(1, 60, 500)
+		saved = float64(rows[0].ExactWork) / float64(maxInt(rows[0].ApproxWork, 1))
+	}
+	b.ReportMetric(saved, "exact_over_approx_work")
+}
+
+func BenchmarkE8KBCvsWrangler(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E8KBCvsWrangler(1, 15)
+		gain = rows[2].PriceAcc - rows[0].PriceAcc
+	}
+	b.ReportMetric(gain*100, "freshness_gain_pp")
+}
+
+func BenchmarkE9Uncertainty(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E9Uncertainty(1, 300, 7)
+		delta = rows[0].Brier - rows[3].Brier
+	}
+	b.ReportMetric(delta, "brier_improvement")
+}
+
+func BenchmarkE10Incremental(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		_, rows := experiments.E10Incremental(1, 8, 1)
+		speedup = float64(rows[0].FullSrc) / float64(maxInt(rows[0].IncrementalSrc, 1))
+	}
+	b.ReportMetric(speedup, "sources_touched_ratio")
+}
+
+func BenchmarkF1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.F1Architecture(1, 10)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

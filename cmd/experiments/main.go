@@ -1,0 +1,68 @@
+// Command experiments runs every experiment in the reproduction's
+// experiment index (DESIGN.md §3) and prints the paper-style tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for all workloads")
+	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E8)")
+	flag.Parse()
+
+	nSources := 30
+	e6sizes := []int{10000, 100000, 1000000}
+	if *quick {
+		nSources = 10
+		e6sizes = []int{1000, 10000, 100000}
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	run := func(id string, fn func() experiments.Table) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		t := fn()
+		fmt.Println(t.Format())
+	}
+
+	run("E1", func() experiments.Table { t, _ := experiments.E1ManualVsAutomated(*seed, nSources+20); return t })
+	run("E2", func() experiments.Table { t, _ := experiments.E2UserContexts(*seed, nSources/2+8); return t })
+	run("E3", func() experiments.Table { t, _ := experiments.E3ContextExtraction(*seed, 10); return t })
+	run("E4", func() experiments.Table { t, _ := experiments.E4EvidenceTypes(*seed, nSources/2); return t })
+	run("E5", func() experiments.Table { t, _ := experiments.E5PayAsYouGo(*seed, 10, 4, 25); return t })
+	run("E5B", func() experiments.Table { t, _ := experiments.E5bSharedVsSiloed(*seed, 10); return t })
+	run("E6", func() experiments.Table { t, _ := experiments.E6BoundedEvaluation(e6sizes); return t })
+	run("E7", func() experiments.Table { t, _ := experiments.E7CQApproximation(*seed, 80, 800); return t })
+	run("E8", func() experiments.Table { t, _ := experiments.E8KBCvsWrangler(*seed, 20); return t })
+	run("E9", func() experiments.Table { t, _ := experiments.E9Uncertainty(*seed, 500, 7); return t })
+	run("E10", func() experiments.Table { t, _ := experiments.E10Incremental(*seed, 10, 3); return t })
+	run("F1", func() experiments.Table { t, _ := experiments.F1Architecture(*seed, 12); return t })
+
+	if len(want) > 0 {
+		for id := range want {
+			switch id {
+			case "E1", "E2", "E3", "E4", "E5", "E5B", "E6", "E7", "E8", "E9", "E10", "F1":
+			default:
+				fmt.Fprintf(os.Stderr, "unknown experiment %s\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+}

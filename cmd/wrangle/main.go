@@ -1,0 +1,172 @@
+// Command wrangle generates a synthetic source universe and runs the full
+// Figure-1 wrangling pipeline over it under a chosen user context,
+// printing the wrangled data preview, the per-source selection report and
+// the ground-truth evaluation.
+//
+// Usage:
+//
+//	wrangle [-seed N] [-sources N] [-domain products|locations]
+//	        [-context balanced|routine|investigation] [-max-sources N]
+//	        [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/context"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ontology"
+	"repro/internal/report"
+	"repro/internal/sources"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	nSources := flag.Int("sources", 12, "number of sources to generate")
+	domain := flag.String("domain", "products", "products or locations")
+	ctxName := flag.String("context", "balanced", "user context: balanced, routine or investigation")
+	maxSources := flag.Int("max-sources", 0, "source budget (0 = unlimited)")
+	csvOut := flag.String("csv", "", "write wrangled table as CSV to this file")
+	flag.Parse()
+
+	var u *sources.Universe
+	var cfg core.Config
+	dc := context.NewDataContext()
+	switch *domain {
+	case "locations":
+		world := sources.NewWorld(*seed, 0, 300)
+		scfg := sources.DefaultConfig(*seed, *nSources)
+		scfg.Domain = sources.DomainLocations
+		u = sources.Generate(world, scfg)
+		cfg = core.LocationConfig()
+		dc.WithTaxonomy(ontology.LocationTaxonomy())
+	default:
+		world := sources.NewWorld(*seed, 300, 0)
+		for i := 0; i < 24; i++ {
+			world.Evolve(0.15)
+		}
+		u = sources.Generate(world, sources.DefaultConfig(*seed, *nSources))
+		cfg = core.ProductConfig()
+		dc.WithTaxonomy(ontology.ProductTaxonomy()).WithMaster(masterData(u, 120), "sku")
+	}
+
+	uc, err := userContext(*ctxName, *maxSources)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	w := core.New(u, cfg, uc, dc)
+	out, err := w.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrangle:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("universe: %d sources (%s), world clock %d\n", len(u.Sources), *domain, u.World.Clock)
+	fmt.Printf("context:  %s (max sources %d)\n\n", uc.Name, uc.MaxSources)
+	fmt.Println("-- source selection --")
+	snap := w.Snapshot()
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rep := snap[id]
+		mark := " "
+		if rep.Selected {
+			mark = "*"
+		}
+		fmt.Printf("%s %-8s utility=%.3f rows=%-4d completeness=%.2f accuracy=%.2f timeliness=%.2f\n",
+			mark, id, rep.Utility, rep.Rows, rep.Completeness, rep.Accuracy, rep.Timeliness)
+	}
+
+	fmt.Printf("\n-- wrangled data (%d entities) --\n%s\n", out.Len(), out.String())
+
+	// The Example-5 report: conflicted lines are where reviewer feedback
+	// pays off first.
+	rep := report.Build(w, "price intelligence", []string{"price"})
+	sum := rep.Summarise()
+	fmt.Printf("\n-- price report: %d lines, %d conflicted, mean confidence %.2f --\n",
+		sum.Lines, sum.Conflicts, sum.MeanConfidence)
+	if conflicted := rep.Conflicted(); len(conflicted) > 0 {
+		show := conflicted
+		if len(show) > 5 {
+			show = show[:5]
+		}
+		for _, l := range show {
+			fmt.Printf("! %-12s %-10s %-14s conf=%.2f sources=%v\n",
+				l.Entity, l.Attribute, l.Value, l.Confidence, l.Supporters)
+		}
+	}
+
+	switch *domain {
+	case "locations":
+		ev := w.EvaluateLocations()
+		fmt.Printf("\nevaluation: precision=%.3f recall=%.3f street-accuracy=%.3f\n",
+			ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy)
+	default:
+		ev := w.EvaluateProducts()
+		fmt.Printf("\nevaluation: precision=%.3f recall=%.3f name-acc=%.3f price-acc=%.3f mean-price-err=%.3f\n",
+			ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy, ev.PriceAccuracy, ev.MeanPriceError)
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wrangle:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, out); err != nil {
+			fmt.Fprintln(os.Stderr, "wrangle:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvOut)
+	}
+}
+
+func userContext(name string, maxSources int) (*context.UserContext, error) {
+	switch name {
+	case "balanced":
+		return &context.UserContext{Name: "balanced", MaxSources: maxSources,
+			Weights: map[context.Criterion]float64{
+				context.Accuracy: 0.25, context.Completeness: 0.25,
+				context.Timeliness: 0.25, context.Relevance: 0.25,
+			}}, nil
+	case "routine":
+		ahp, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
+		ahp.Set(context.Accuracy, context.Completeness, 5)
+		ahp.Set(context.Timeliness, context.Completeness, 4)
+		ahp.Set(context.Accuracy, context.Timeliness, 1)
+		return context.BuildUserContext("routine price comparison", ahp, maxSources, 0)
+	case "investigation":
+		ahp, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
+		ahp.Set(context.Completeness, context.Accuracy, 5)
+		ahp.Set(context.Completeness, context.Timeliness, 5)
+		return context.BuildUserContext("issue investigation", ahp, maxSources, 0)
+	default:
+		return nil, fmt.Errorf("wrangle: unknown context %q", name)
+	}
+}
+
+func masterData(u *sources.Universe, n int) *dataset.Table {
+	t := dataset.NewTable(dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+		dataset.Field{Name: "brand", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+	))
+	for i, p := range u.World.Products {
+		if i >= n {
+			break
+		}
+		price, _ := u.World.PriceAt(p.SKU, u.World.Clock)
+		t.AppendValues(dataset.String(p.SKU), dataset.String(p.Name), dataset.String(p.Brand), dataset.Float(price))
+	}
+	return t
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of the system envisioned
+// in "Data Wrangling for Big Data: Challenges and Opportunities" (Furche,
+// Gottlob, Libkin, Orsi, Paton — EDBT 2016): a highly automated,
+// context-aware, pay-as-you-go data wrangling architecture.
+//
+// The paper is a vision paper; this repository builds the architecture it
+// proposes (Figure 1) together with every substrate it depends on and the
+// baselines it argues against, plus an experiment harness that tests each
+// of the paper's measurable claims. Start at internal/core (the
+// orchestrator), DESIGN.md (system inventory and experiment index) and
+// EXPERIMENTS.md (paper-claim vs measured outcome).
+//
+// The root package holds the benchmark suite (bench_test.go): one
+// testing.B benchmark per experiment, regenerating the tables that
+// cmd/experiments prints.
+package repro

@@ -1,0 +1,78 @@
+package context
+
+import (
+	"fmt"
+	"math"
+)
+
+// Group decision support: a user context often belongs to a team, not one
+// analyst ("groups of users and tasks", §3.3). The standard AHP group
+// aggregation combines each stakeholder's pairwise judgement matrix by
+// the element-wise geometric mean — the only aggregation that preserves
+// the reciprocal property of comparison matrices.
+
+// GroupAHP aggregates several stakeholders' AHP matrices over the same
+// criteria (optionally weighted by stakeholder importance) into one
+// matrix. Matrices must share the identical criteria list, in order.
+func GroupAHP(members []*AHP, memberWeights []float64) (*AHP, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("context: group AHP needs at least one member")
+	}
+	base := members[0]
+	for _, m := range members[1:] {
+		if len(m.criteria) != len(base.criteria) {
+			return nil, fmt.Errorf("context: group members disagree on criteria count")
+		}
+		for i := range m.criteria {
+			if m.criteria[i] != base.criteria[i] {
+				return nil, fmt.Errorf("context: group members disagree on criterion %d: %q vs %q",
+					i, m.criteria[i], base.criteria[i])
+			}
+		}
+	}
+	if memberWeights == nil {
+		memberWeights = make([]float64, len(members))
+		for i := range memberWeights {
+			memberWeights[i] = 1
+		}
+	}
+	if len(memberWeights) != len(members) {
+		return nil, fmt.Errorf("context: %d member weights for %d members", len(memberWeights), len(members))
+	}
+	totalW := 0.0
+	for _, w := range memberWeights {
+		if w <= 0 {
+			return nil, fmt.Errorf("context: member weights must be positive")
+		}
+		totalW += w
+	}
+	out, err := NewAHP(base.criteria...)
+	if err != nil {
+		return nil, err
+	}
+	n := len(base.criteria)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			// Weighted geometric mean of the (i,j) judgements.
+			logSum := 0.0
+			for mi, m := range members {
+				logSum += memberWeights[mi] * math.Log(m.m[i][j])
+			}
+			out.m[i][j] = math.Exp(logSum / totalW)
+		}
+	}
+	return out, nil
+}
+
+// BuildGroupContext elicits a team user context: aggregate the members'
+// judgements, then derive weights with the usual consistency check.
+func BuildGroupContext(name string, members []*AHP, memberWeights []float64, maxSources int, feedbackBudget float64) (*UserContext, error) {
+	agg, err := GroupAHP(members, memberWeights)
+	if err != nil {
+		return nil, err
+	}
+	return BuildUserContext(name, agg, maxSources, feedbackBudget)
+}

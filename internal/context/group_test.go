@@ -1,0 +1,95 @@
+package context
+
+import (
+	"math"
+	"testing"
+)
+
+func memberAHP(t *testing.T, accOverCompl float64) *AHP {
+	t.Helper()
+	a, err := NewAHP(Accuracy, Completeness, Timeliness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(Accuracy, Completeness, accOverCompl)
+	a.Set(Accuracy, Timeliness, accOverCompl)
+	a.Set(Completeness, Timeliness, 1)
+	return a
+}
+
+func TestGroupAHPGeometricMean(t *testing.T) {
+	// Two members: one says accuracy 4x, one says 1x. Geometric mean: 2x.
+	agg, err := GroupAHP([]*AHP{memberAHP(t, 4), memberAHP(t, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.m[0][1]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("aggregated judgement = %f, want 2", got)
+	}
+	// Reciprocity preserved.
+	if math.Abs(agg.m[1][0]-0.5) > 1e-9 {
+		t.Errorf("reciprocal = %f, want 0.5", agg.m[1][0])
+	}
+}
+
+func TestGroupAHPWeighted(t *testing.T) {
+	// Lead analyst (weight 3) says 8x; junior (weight 1) says 1x.
+	// Weighted geometric mean = 8^(3/4) ≈ 4.76.
+	agg, err := GroupAHP([]*AHP{memberAHP(t, 8), memberAHP(t, 1)}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(8, 0.75)
+	if got := agg.m[0][1]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted judgement = %f, want %f", got, want)
+	}
+}
+
+func TestGroupAHPValidation(t *testing.T) {
+	if _, err := GroupAHP(nil, nil); err == nil {
+		t.Error("empty group should fail")
+	}
+	a, _ := NewAHP(Accuracy, Completeness)
+	b, _ := NewAHP(Accuracy, Completeness, Timeliness)
+	if _, err := GroupAHP([]*AHP{a, b}, nil); err == nil {
+		t.Error("mismatched criteria should fail")
+	}
+	c, _ := NewAHP(Completeness, Accuracy)
+	if _, err := GroupAHP([]*AHP{a, c}, nil); err == nil {
+		t.Error("different criterion order should fail")
+	}
+	if _, err := GroupAHP([]*AHP{a}, []float64{1, 2}); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+	if _, err := GroupAHP([]*AHP{a}, []float64{0}); err == nil {
+		t.Error("non-positive weights should fail")
+	}
+}
+
+func TestBuildGroupContext(t *testing.T) {
+	uc, err := BuildGroupContext("team", []*AHP{memberAHP(t, 4), memberAHP(t, 2)}, nil, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uc.Weight(Accuracy) <= uc.Weight(Completeness) {
+		t.Error("team consensus should still favour accuracy")
+	}
+	if uc.MaxSources != 5 || uc.FeedbackBudget != 10 {
+		t.Errorf("context = %+v", uc)
+	}
+}
+
+func TestGroupAHPSingleMemberIdentity(t *testing.T) {
+	m := memberAHP(t, 5)
+	agg, err := GroupAHP([]*AHP{m}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := m.Weights()
+	wa, _ := agg.Weights()
+	for c, w := range wm {
+		if math.Abs(w-wa[c]) > 1e-9 {
+			t.Errorf("single-member aggregation changed weight of %s: %f vs %f", c, wa[c], w)
+		}
+	}
+}

@@ -1,0 +1,719 @@
+// Package core implements the paper's primary contribution: the abstract
+// wrangling architecture of Figure 1 as an autonomic, context-aware,
+// pay-as-you-go pipeline. A Wrangler wires Data Extraction and Data
+// Integration over a Working Data store (wrappers, extractions, matches,
+// mappings, clusterings, fused results, quality scorecards, feedback and
+// provenance), self-configures from the user and data contexts instead of
+// a hand-wired workflow, and reacts to feedback and source churn by
+// recomputing only the artefacts the provenance graph marks as affected
+// (§2.4, §4.2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/context"
+	"repro/internal/dataset"
+	"repro/internal/er"
+	"repro/internal/extract"
+	"repro/internal/feedback"
+	"repro/internal/fusion"
+	"repro/internal/html"
+	"repro/internal/mapping"
+	"repro/internal/match"
+	"repro/internal/provenance"
+	"repro/internal/quality"
+	"repro/internal/sources"
+)
+
+// Config names the schema roles the pipeline needs: the target schema
+// plus which columns serve as entity key, fuzzy name, categorical and
+// numeric evidence for entity resolution, and the freshness timestamp.
+type Config struct {
+	Target          dataset.Schema
+	KeyColumn       string
+	NameColumn      string
+	SecondaryColumn string
+	NumericColumn   string
+	TimeColumn      string
+}
+
+// ProductConfig is the canonical e-commerce configuration (Examples 1-2).
+func ProductConfig() Config {
+	return Config{
+		Target: dataset.MustSchema(
+			dataset.Field{Name: "sku", Kind: dataset.KindString},
+			dataset.Field{Name: "name", Kind: dataset.KindString},
+			dataset.Field{Name: "brand", Kind: dataset.KindString},
+			dataset.Field{Name: "category", Kind: dataset.KindString},
+			dataset.Field{Name: "price", Kind: dataset.KindFloat},
+			dataset.Field{Name: "rating", Kind: dataset.KindFloat},
+			dataset.Field{Name: "updated", Kind: dataset.KindTime},
+		),
+		KeyColumn:       "sku",
+		NameColumn:      "name",
+		SecondaryColumn: "brand",
+		NumericColumn:   "price",
+		TimeColumn:      "updated",
+	}
+}
+
+// LocationConfig is the business-locations configuration (Example 3).
+func LocationConfig() Config {
+	return Config{
+		Target: dataset.MustSchema(
+			dataset.Field{Name: "name", Kind: dataset.KindString},
+			dataset.Field{Name: "category", Kind: dataset.KindString},
+			dataset.Field{Name: "street", Kind: dataset.KindString},
+			dataset.Field{Name: "city", Kind: dataset.KindString},
+			dataset.Field{Name: "postcode", Kind: dataset.KindString},
+			dataset.Field{Name: "lat", Kind: dataset.KindFloat},
+			dataset.Field{Name: "lon", Kind: dataset.KindFloat},
+			dataset.Field{Name: "url", Kind: dataset.KindString},
+		),
+		KeyColumn:       "url",
+		NameColumn:      "name",
+		SecondaryColumn: "city",
+		NumericColumn:   "lat",
+		TimeColumn:      "",
+	}
+}
+
+// sourceState is the per-source slice of the working data store.
+type sourceState struct {
+	wrapper   *extract.Wrapper // HTML sources only
+	extracted *dataset.Table   // raw extraction
+	mapping   *mapping.Mapping
+	mapped    *dataset.Table // in target schema
+	quality   mapping.Quality
+	scorecard quality.Scorecard
+	selected  bool
+	utility   float64
+}
+
+// RunStats reports what a (re)computation touched — the measure the
+// incremental experiments compare.
+type RunStats struct {
+	SourcesProcessed int
+	SourcesSelected  int
+	RowsExtracted    int
+	RowsWrangled     int
+	Reextracted      []string // sources whose extraction was recomputed
+	WrapperRepairs   int
+	Duration         time.Duration
+}
+
+// Wrangler is the Figure-1 architecture instance.
+type Wrangler struct {
+	Universe *sources.Universe
+	UserCtx  *context.UserContext
+	DataCtx  *context.DataContext
+	Feedback *feedback.Store
+	Prov     *provenance.Graph
+	Config   Config
+
+	states       map[string]*sourceState
+	resolver     *er.Resolver
+	union        *dataset.Table
+	unionSources []string // per-row source id
+	clusters     *er.Clustering
+	entityIDs    []string // per union row: fused entity id
+	results      []fusion.Result
+	wrangled     *dataset.Table
+	trust        map[string]float64
+	lastSeq      int
+	LastStats    RunStats
+}
+
+// New builds a wrangler over a universe with the given contexts. userCtx
+// may be nil (uniform weights); dataCtx may be nil (no auxiliary data).
+func New(u *sources.Universe, cfg Config, userCtx *context.UserContext, dataCtx *context.DataContext) *Wrangler {
+	if userCtx == nil {
+		userCtx = &context.UserContext{Name: "default", Weights: map[context.Criterion]float64{
+			context.Accuracy: 0.25, context.Completeness: 0.25,
+			context.Timeliness: 0.25, context.Relevance: 0.25,
+		}}
+	}
+	if dataCtx == nil {
+		dataCtx = context.NewDataContext()
+	}
+	return &Wrangler{
+		Universe: u,
+		UserCtx:  userCtx,
+		DataCtx:  dataCtx,
+		Feedback: feedback.NewStore(),
+		Prov:     provenance.NewGraph(),
+		Config:   cfg,
+		states:   map[string]*sourceState{},
+		trust:    map[string]float64{},
+	}
+}
+
+// Run executes the full pipeline: extract every source, match and map to
+// the target schema, select sources under the user context, resolve
+// entities and fuse. It returns the wrangled table.
+func (w *Wrangler) Run() (*dataset.Table, error) {
+	start := time.Now()
+	w.LastStats = RunStats{}
+	for _, s := range w.Universe.Sources {
+		if err := w.processSource(s); err != nil {
+			// A source that cannot be wrangled is skipped, not fatal —
+			// best-effort is the contract (§2.1).
+			continue
+		}
+	}
+	w.selectSources()
+	if err := w.integrate(); err != nil {
+		return nil, err
+	}
+	w.LastStats.Duration = time.Since(start)
+	return w.wrangled, nil
+}
+
+// processSource extracts, matches, maps and scores one source, recording
+// provenance. It is the unit of incremental recomputation.
+func (w *Wrangler) processSource(s *sources.Source) error {
+	st := &sourceState{}
+	w.states[s.ID] = st
+	w.LastStats.SourcesProcessed++
+	srcRef := provenance.Ref{Kind: provenance.KindSource, ID: s.ID}
+	w.Prov.Put(srcRef, "sources", nil, string(s.Kind))
+
+	// --- Data Extraction ---
+	tab, err := w.extractSource(s, st)
+	if err != nil {
+		return err
+	}
+	st.extracted = tab
+	w.LastStats.RowsExtracted += tab.Len()
+	w.LastStats.Reextracted = append(w.LastStats.Reextracted, s.ID)
+	extRef := provenance.Ref{Kind: provenance.KindExtraction, ID: s.ID}
+	inputs := []provenance.Ref{srcRef}
+	if st.wrapper != nil {
+		wrapRef := provenance.Ref{Kind: provenance.KindWrapper, ID: s.ID}
+		w.Prov.Put(wrapRef, "extract.Induce", []provenance.Ref{srcRef}, "")
+		inputs = append(inputs, wrapRef)
+	}
+	w.Prov.Put(extRef, "extract.Run", inputs, "")
+
+	// --- Matching & mapping (Data Integration, schema level) ---
+	opts := []match.Option{}
+	if w.DataCtx.Taxonomy != nil {
+		opts = append(opts, match.WithTaxonomy(w.DataCtx.Taxonomy))
+	}
+	if samples := w.DataCtx.MasterSamples(60); samples != nil {
+		opts = append(opts, match.WithSamples(samples))
+	}
+	matcher := match.NewMatcher(w.Config.Target, opts...)
+	corrs, err := matcher.Match(tab)
+	if err != nil {
+		return fmt.Errorf("core: match %s: %w", s.ID, err)
+	}
+	m := mapping.Generate("map-"+s.ID, s.ID, w.Config.Target, corrs)
+	st.mapping = m
+	mapRef := provenance.Ref{Kind: provenance.KindMapping, ID: s.ID}
+	w.Prov.Put(mapRef, "mapping.Generate", []provenance.Ref{extRef}, "")
+
+	q, err := mapping.EstimateQuality(m, tab, w.DataCtx.MasterData, w.Config.KeyColumn)
+	if err != nil {
+		return fmt.Errorf("core: estimate quality %s: %w", s.ID, err)
+	}
+	st.quality = q
+	mapped, err := m.Apply(tab)
+	if err != nil {
+		return fmt.Errorf("core: apply mapping %s: %w", s.ID, err)
+	}
+	// Corroborate against master data: systematic unit drift (prices in
+	// cents) is an extraction-level error repaired before integration.
+	if w.DataCtx.MasterData != nil {
+		extract.RepairUnits(mapped, w.DataCtx.MasterData)
+		extract.RepairUnitCells(mapped, w.DataCtx.MasterData)
+	}
+	// Backfill the freshness column for sources that don't publish one.
+	w.backfillTime(mapped, s)
+	st.mapped = mapped
+
+	sc, err := quality.Assess(mapped, w.DataCtx.MasterData, w.Config.KeyColumn,
+		w.Config.TimeColumn, sources.AsOf(w.Universe.World.Clock), 24*time.Hour, nil)
+	if err != nil {
+		return fmt.Errorf("core: assess %s: %w", s.ID, err)
+	}
+	st.scorecard = sc
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindQuality, ID: s.ID}, "quality.Assess", []provenance.Ref{mapRef}, "")
+	return nil
+}
+
+// extractSource turns a raw source into a table: codec parse for CSV/JSON,
+// wrapper induction + execution (+ repair) for HTML.
+func (w *Wrangler) extractSource(s *sources.Source, st *sourceState) (*dataset.Table, error) {
+	switch s.Kind {
+	case sources.KindCSV:
+		return dataset.ReadCSV(strings.NewReader(s.Payload()))
+	case sources.KindJSON:
+		return dataset.ReadJSON(strings.NewReader(s.Payload()))
+	case sources.KindKV:
+		return dataset.ReadKV(strings.NewReader(s.Payload()))
+	case sources.KindHTML:
+		page := html.Parse(s.Payload())
+		wr := st.wrapper
+		if wr == nil {
+			var err error
+			wr, err = extract.Induce(s.ID, page, w.DataCtx.Taxonomy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Joint wrapper+data repair, informed by master data when present.
+		wr2, tab, rep, err := extract.Repair(wr, page, w.DataCtx.MasterData, w.DataCtx.Taxonomy)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Reinduced {
+			w.LastStats.WrapperRepairs++
+		}
+		st.wrapper = wr2
+		return tab, nil
+	default:
+		return nil, fmt.Errorf("core: unknown source kind %q", s.Kind)
+	}
+}
+
+// backfillTime fills null freshness cells with the source's snapshot time.
+func (w *Wrangler) backfillTime(mapped *dataset.Table, s *sources.Source) {
+	if w.Config.TimeColumn == "" {
+		return
+	}
+	tc := mapped.Schema().Index(w.Config.TimeColumn)
+	if tc < 0 {
+		return
+	}
+	asOf := dataset.Time(sources.AsOf(s.SnapshotClock))
+	for i := 0; i < mapped.Len(); i++ {
+		if mapped.Row(i)[tc].IsNull() {
+			mapped.Row(i)[tc] = asOf
+		}
+	}
+}
+
+// selectSources ranks sources by context-weighted utility and keeps the
+// top MaxSources (§2.1 compromise). Feedback relevance votes act as an
+// additional relevance signal (§2.4 shared feedback).
+func (w *Wrangler) selectSources() {
+	rel := w.Feedback.SourceRelevance()
+	type ranked struct {
+		id      string
+		utility float64
+	}
+	var all []ranked
+	for id, st := range w.states {
+		if st.mapped == nil {
+			continue
+		}
+		scores := map[context.Criterion]float64{
+			context.Completeness: st.quality.Completeness,
+			context.Relevance:    relevanceScore(rel[id], st.quality.Coverage),
+		}
+		if !isNaN(st.scorecard.Accuracy) {
+			scores[context.Accuracy] = st.scorecard.Accuracy
+		}
+		if !isNaN(st.scorecard.Timeliness) {
+			scores[context.Timeliness] = st.scorecard.Timeliness
+		}
+		st.utility = w.UserCtx.Score(scores)
+		all = append(all, ranked{id: id, utility: st.utility})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].utility != all[j].utility {
+			return all[i].utility > all[j].utility
+		}
+		return all[i].id < all[j].id
+	})
+	limit := len(all)
+	if w.UserCtx.MaxSources > 0 && w.UserCtx.MaxSources < limit {
+		limit = w.UserCtx.MaxSources
+	}
+	for i, r := range all {
+		w.states[r.id].selected = i < limit
+	}
+	w.LastStats.SourcesSelected = limit
+}
+
+func relevanceScore(votes, coverage float64) float64 {
+	// Coverage of the master catalogue is the base relevance signal;
+	// explicit votes shift it.
+	s := coverage + 0.1*votes
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func isNaN(f float64) bool { return f != f }
+
+// integrate unions selected mapped tables, resolves entities and fuses
+// values into the wrangled table.
+func (w *Wrangler) integrate() error {
+	w.union = dataset.NewTable(w.Config.Target.Clone())
+	w.unionSources = w.unionSources[:0]
+	ids := w.selectedIDs()
+	for _, id := range ids {
+		st := w.states[id]
+		for _, r := range st.mapped.Rows() {
+			w.union.Append(r.Clone())
+			w.unionSources = append(w.unionSources, id)
+		}
+	}
+	if w.union.Len() == 0 {
+		w.wrangled = dataset.NewTable(w.Config.Target.Clone())
+		w.results = nil
+		return nil
+	}
+	// Profile the integrated data for near-exact functional dependencies
+	// (e.g. sku -> brand) and repair their violations — typos introduced
+	// by individual sources are outvoted by their own key group before
+	// entity resolution sees them (cost-based repair, quality package).
+	if w.union.Len() > 0 {
+		if _, _, err := quality.ProfileAndRepair(w.union, 0.9); err != nil {
+			return fmt.Errorf("core: profile repair: %w", err)
+		}
+	}
+	w.resolver = er.NewResolver(w.Config.KeyColumn, w.Config.NameColumn, w.Config.SecondaryColumn, w.Config.NumericColumn)
+	w.applyPairFeedback()
+	must, cannot := w.pairConstraints()
+	clusters, _, err := w.resolver.ResolveConstrained(w.union, must, cannot)
+	if err != nil {
+		return fmt.Errorf("core: resolve: %w", err)
+	}
+	w.clusters = clusters
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindCluster, ID: "union"}, "er.Resolve", w.mappingRefs(ids), "")
+	return w.fuse(ids)
+}
+
+// applyPairFeedback feeds accumulated duplicate labels into the resolver
+// (Corleone-style refinement) before clustering.
+func (w *Wrangler) applyPairFeedback() {
+	labels := w.Feedback.PairLabels()
+	if len(labels) == 0 {
+		return
+	}
+	rowByKey := w.rowKeyIndex()
+	var training []er.LabeledPair
+	for pairKey, dup := range labels {
+		parts := strings.SplitN(pairKey, "|", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		i, iok := rowByKey[parts[0]]
+		j, jok := rowByKey[parts[1]]
+		if iok && jok && i != j {
+			p := er.Pair{I: i, J: j}
+			if p.I > p.J {
+				p.I, p.J = p.J, p.I
+			}
+			training = append(training, er.LabeledPair{Pair: p, Duplicate: dup})
+		}
+	}
+	if len(training) >= 4 {
+		w.resolver.Learn(w.union, training)
+	}
+}
+
+// pairConstraints turns confident pair feedback into hard clustering
+// constraints: must-links for duplicate labels, cannot-links for
+// not-duplicate labels. Only high-confidence labels qualify — an expert
+// annotation (weight 1) or a high-agreement crowd majority (|net score|
+// >= 0.75); weak majorities stay training signal only, since feedback
+// "may be unreliable" (§4.2).
+func (w *Wrangler) pairConstraints() (must, cannot []er.Pair) {
+	labels := w.Feedback.PairLabels()
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	rowByKey := w.rowKeyIndex()
+	for pairKey, dup := range labels {
+		score := w.Feedback.PairScore(pairKey)
+		if score < 0.75 && score > -0.75 {
+			continue
+		}
+		parts := strings.SplitN(pairKey, "|", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		i, iok := rowByKey[parts[0]]
+		j, jok := rowByKey[parts[1]]
+		if !iok || !jok || i == j {
+			continue
+		}
+		p := er.Pair{I: i, J: j}
+		if p.I > p.J {
+			p.I, p.J = p.J, p.I
+		}
+		if dup {
+			must = append(must, p)
+		} else {
+			cannot = append(cannot, p)
+		}
+	}
+	return must, cannot
+}
+
+// rowKeyIndex maps "sourceID#rowIdxInSource" to union row index; this is
+// the stable row addressing feedback uses.
+func (w *Wrangler) rowKeyIndex() map[string]int {
+	out := map[string]int{}
+	counts := map[string]int{}
+	for i, src := range w.unionSources {
+		out[fmt.Sprintf("%s#%d", src, counts[src])] = i
+		counts[src]++
+	}
+	return out
+}
+
+// RowKey returns the feedback addressing key for union row i.
+func (w *Wrangler) RowKey(i int) string {
+	count := 0
+	src := w.unionSources[i]
+	for j := 0; j < i; j++ {
+		if w.unionSources[j] == src {
+			count++
+		}
+	}
+	return fmt.Sprintf("%s#%d", src, count)
+}
+
+// fuse builds claims from the union rows grouped by cluster and fuses them
+// under the context-appropriate policy.
+func (w *Wrangler) fuse(ids []string) error {
+	w.entityIDs = w.entityNames()
+	var claims []fusion.Claim
+	tc := -1
+	if w.Config.TimeColumn != "" {
+		tc = w.union.Schema().Index(w.Config.TimeColumn)
+	}
+	for i, r := range w.union.Rows() {
+		asOf := time.Time{}
+		if tc >= 0 && r[tc].Kind() == dataset.KindTime {
+			asOf = r[tc].TimeVal()
+		}
+		for ci, f := range w.union.Schema() {
+			if ci == tc {
+				continue
+			}
+			claims = append(claims, fusion.Claim{
+				Entity:    w.entityIDs[i],
+				Attribute: f.Name,
+				Value:     r[ci],
+				SourceID:  w.unionSources[i],
+				AsOf:      asOf,
+			})
+		}
+	}
+	opts := w.fusionOptions()
+	w.results = fusion.Fuse(claims, opts)
+	w.trust = opts.Trust
+
+	// Materialise the wrangled table: one row per entity.
+	byEntity := map[string]map[string]dataset.Value{}
+	var order []string
+	for _, res := range w.results {
+		if byEntity[res.Entity] == nil {
+			byEntity[res.Entity] = map[string]dataset.Value{}
+			order = append(order, res.Entity)
+		}
+		byEntity[res.Entity][res.Attribute] = res.Value
+	}
+	sort.Strings(order)
+	out := dataset.NewTable(w.Config.Target.Clone())
+	for _, e := range order {
+		row := make(dataset.Record, len(w.Config.Target))
+		for i, f := range w.Config.Target {
+			v, ok := byEntity[e][f.Name]
+			if !ok {
+				v = dataset.Null()
+			}
+			row[i] = v
+		}
+		out.Append(row)
+	}
+	w.wrangled = out
+	w.LastStats.RowsWrangled = out.Len()
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
+		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, opts.Policy.String())
+	return nil
+}
+
+// fusionOptions self-configures the fusion policy from the user context:
+// timeliness-heavy contexts get freshness-weighted fusion, otherwise
+// trust-based truth discovery. Feedback-derived source trust seeds the
+// trust map (shared feedback assimilation).
+func (w *Wrangler) fusionOptions() fusion.Options {
+	policy := fusion.TruthFinder
+	if w.UserCtx.Weight(context.Timeliness) >= 0.3 && w.Config.TimeColumn != "" {
+		policy = fusion.FreshnessWeighted
+	}
+	opts := fusion.DefaultOptions(policy)
+	opts.Now = sources.AsOf(w.Universe.World.Clock)
+	opts.Pinned = map[string]bool{}
+	for src, t := range w.Feedback.SourceTrust() {
+		opts.Trust[src] = t
+		opts.Pinned[src] = true
+	}
+	return opts
+}
+
+// entityNames assigns a stable entity id per cluster: the most frequent
+// non-null key value in the cluster, else "entity-<cluster>".
+func (w *Wrangler) entityNames() []string {
+	kc := w.union.Schema().Index(w.Config.KeyColumn)
+	names := make([]string, w.union.Len())
+	byCluster := w.clusters.Clusters()
+	for cid, rows := range byCluster {
+		counts := map[string]int{}
+		for _, row := range rows {
+			if kc >= 0 && !w.union.Row(row)[kc].IsNull() {
+				counts[w.union.Row(row)[kc].String()]++
+			}
+		}
+		best, bestN := "", 0
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		if best == "" {
+			best = fmt.Sprintf("entity-%04d", cid)
+		}
+		for _, row := range rows {
+			names[row] = best
+		}
+	}
+	return names
+}
+
+func (w *Wrangler) selectedIDs() []string {
+	var ids []string
+	for id, st := range w.states {
+		if st.selected && st.mapped != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (w *Wrangler) mappingRefs(ids []string) []provenance.Ref {
+	refs := make([]provenance.Ref, len(ids))
+	for i, id := range ids {
+		refs[i] = provenance.Ref{Kind: provenance.KindMapping, ID: id}
+	}
+	return refs
+}
+
+// Wrangled returns the current wrangled table (nil before Run).
+func (w *Wrangler) Wrangled() *dataset.Table { return w.wrangled }
+
+// Results returns the fused results (per entity and attribute).
+func (w *Wrangler) Results() []fusion.Result { return w.results }
+
+// Trust returns the current per-source trust map.
+func (w *Wrangler) Trust() map[string]float64 { return w.trust }
+
+// SelectedSources returns the ids of sources used in the last integration.
+func (w *Wrangler) SelectedSources() []string { return w.selectedIDs() }
+
+// Union returns the integrated pre-fusion table (one row per selected
+// source record, target schema). Experiments use it to address rows; it is
+// nil before integration.
+func (w *Wrangler) Union() *dataset.Table { return w.union }
+
+// UnionSourceOf returns the source id contributing union row i.
+func (w *Wrangler) UnionSourceOf(i int) string { return w.unionSources[i] }
+
+// UnionRowInSource returns row i's index within its source's mapped table.
+func (w *Wrangler) UnionRowInSource(i int) int {
+	count := 0
+	for j := 0; j < i; j++ {
+		if w.unionSources[j] == w.unionSources[i] {
+			count++
+		}
+	}
+	return count
+}
+
+// Resolver returns the current entity-resolution rule (nil before
+// integration).
+func (w *Wrangler) Resolver() *er.Resolver { return w.resolver }
+
+// Clusters returns the current entity clustering (nil before integration).
+func (w *Wrangler) Clusters() *er.Clustering { return w.clusters }
+
+// EntityOf returns the fused entity id of union row i.
+func (w *Wrangler) EntityOf(i int) string { return w.entityIDs[i] }
+
+// ClaimSupporters returns the sources whose claims agree with the fused
+// value of (entity, attribute) — the sources a "this value is wrong"
+// annotation should blame, per the system's own fusion bookkeeping. This
+// is how one feedback item informs many components: the annotation names
+// a value, the working data knows who asserted it.
+func (w *Wrangler) ClaimSupporters(entity, attribute string) []string {
+	var fused dataset.Value
+	found := false
+	for _, r := range w.results {
+		if r.Entity == entity && r.Attribute == attribute {
+			fused = r.Value
+			found = true
+			break
+		}
+	}
+	if !found || fused.IsNull() || w.union == nil {
+		return nil
+	}
+	c := w.union.Schema().Index(attribute)
+	if c < 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < w.union.Len(); i++ {
+		if w.entityIDs[i] != entity {
+			continue
+		}
+		v := w.union.Row(i)[c]
+		if v.IsNull() || !v.ApproxEqual(fused, 0.01*absFloat(fused)) {
+			continue
+		}
+		src := w.unionSources[i]
+		if !seen[src] {
+			seen[src] = true
+			out = append(out, src)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func absFloat(v dataset.Value) float64 {
+	if !v.IsNumeric() {
+		return 0
+	}
+	f := v.FloatVal()
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// SourceUtility returns the context utility assigned to a source in the
+// last selection (0 for unknown sources).
+func (w *Wrangler) SourceUtility(id string) float64 {
+	if st, ok := w.states[id]; ok {
+		return st.utility
+	}
+	return 0
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/feedback"
+	"repro/internal/provenance"
+	"repro/internal/sources"
+)
+
+// This file implements the incremental, pay-as-you-go reaction paths: the
+// paper requires that "feedback-induced reactions do not trigger a
+// re-processing of all datasets involved in the computation but rather
+// limit the processing to the strictly necessary data" (§2.4). The
+// provenance graph decides what is affected; everything else is reused
+// from the working-data store.
+
+// ReactStats reports the scope of an incremental reaction, for comparison
+// against a full rerun (experiment E10).
+type ReactStats struct {
+	FeedbackItems     int
+	SourcesReextracted int
+	Remapped          int
+	Reclustered       bool
+	Refused           bool
+	Duration          time.Duration
+}
+
+// ReactToFeedback consumes feedback added since the last reaction and
+// recomputes only the affected stages:
+//
+//   - wrapper_broken → re-extract that source, then re-map it, then
+//     recluster + refuse (the downstream chain from the provenance graph);
+//   - duplicate / not_duplicate → re-learn the resolver, recluster, refuse;
+//   - value feedback → recompute source trust, refuse only;
+//   - relevance feedback → re-select sources; integrate if selection moved.
+//
+// Extractions, mappings and scorecards of untouched sources are reused.
+func (w *Wrangler) ReactToFeedback() (ReactStats, error) {
+	start := time.Now()
+	items := w.Feedback.Since(w.lastSeq)
+	stats := ReactStats{FeedbackItems: len(items)}
+	if len(items) == 0 {
+		return stats, nil
+	}
+	w.lastSeq = items[len(items)-1].Seq
+
+	needRecluster := false
+	needRefuse := false
+	needReselect := false
+	reextract := map[string]bool{}
+	for _, it := range items {
+		switch it.Kind {
+		case "wrapper_broken":
+			reextract[it.SourceID] = true
+		case "duplicate", "not_duplicate":
+			needRecluster = true
+		case "value_correct", "value_incorrect":
+			needRefuse = true
+		case "source_relevant", "source_irrelevant":
+			needReselect = true
+		}
+	}
+	for id := range reextract {
+		s := w.Universe.Source(id)
+		if s == nil {
+			continue
+		}
+		// Invalidate the wrapper so extraction re-induces/repairs.
+		if st, ok := w.states[id]; ok {
+			st.wrapper = nil
+		}
+		if err := w.processSource(s); err != nil {
+			return stats, fmt.Errorf("core: react re-extract %s: %w", id, err)
+		}
+		stats.SourcesReextracted++
+		stats.Remapped++
+		needRecluster = true
+	}
+	if needReselect {
+		w.selectSources()
+		needRecluster = true
+	}
+	switch {
+	case needRecluster:
+		if err := w.integrate(); err != nil {
+			return stats, err
+		}
+		stats.Reclustered = true
+		stats.Refused = true
+	case needRefuse:
+		if err := w.fuse(w.selectedIDs()); err != nil {
+			return stats, err
+		}
+		stats.Refused = true
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// RefreshSource handles source churn (Velocity): the universe re-snapshots
+// the source, and only that source's extraction chain plus the shared
+// integration tail is recomputed. Returns the affected artefact count from
+// the provenance graph for reporting.
+func (w *Wrangler) RefreshSource(id string) (ReactStats, error) {
+	start := time.Now()
+	var stats ReactStats
+	s := w.Universe.Refresh(id)
+	if s == nil {
+		return stats, fmt.Errorf("core: unknown source %q", id)
+	}
+	affected := w.Prov.Affected(provenance.Ref{Kind: provenance.KindSource, ID: id})
+	_ = affected // reported via provenance; recomputation below mirrors it
+	if err := w.processSource(s); err != nil {
+		return stats, fmt.Errorf("core: refresh %s: %w", id, err)
+	}
+	stats.SourcesReextracted = 1
+	stats.Remapped = 1
+	if err := w.integrate(); err != nil {
+		return stats, err
+	}
+	stats.Reclustered = true
+	stats.Refused = true
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// FullRerun discards all working data and recomputes the pipeline from
+// scratch — the classical-ETL behaviour E10 compares against.
+func (w *Wrangler) FullRerun() (ReactStats, error) {
+	start := time.Now()
+	w.states = map[string]*sourceState{}
+	w.Prov = provenance.NewGraph()
+	if _, err := w.Run(); err != nil {
+		return ReactStats{}, err
+	}
+	return ReactStats{
+		SourcesReextracted: w.LastStats.SourcesProcessed,
+		Remapped:           w.LastStats.SourcesProcessed,
+		Reclustered:        true,
+		Refused:            true,
+		Duration:           time.Since(start),
+	}, nil
+}
+
+// AffectedBy exposes the provenance reachability for diagnostics: which
+// artefacts a change to the given source would invalidate.
+func (w *Wrangler) AffectedBy(sourceID string) []provenance.Ref {
+	return w.Prov.Affected(provenance.Ref{Kind: provenance.KindSource, ID: sourceID})
+}
+
+// EvolveWorld advances the world clock with the given churn and returns
+// the SKUs whose prices changed — the velocity driver for experiments.
+func (w *Wrangler) EvolveWorld(churn float64) []string {
+	return w.Universe.World.Evolve(churn)
+}
+
+// Snapshot returns a copy of the per-source selection and utility for
+// reporting.
+func (w *Wrangler) Snapshot() map[string]SourceReport {
+	out := map[string]SourceReport{}
+	for id, st := range w.states {
+		rep := SourceReport{
+			Selected:     st.selected,
+			Utility:      st.utility,
+			Completeness: st.quality.Completeness,
+			Accuracy:     st.scorecard.Accuracy,
+			Timeliness:   st.scorecard.Timeliness,
+			Coverage:     st.quality.Coverage,
+		}
+		if st.mapped != nil {
+			rep.Rows = st.mapped.Len()
+		}
+		out[id] = rep
+	}
+	return out
+}
+
+// SourceReport is the per-source line of Snapshot.
+type SourceReport struct {
+	Selected     bool
+	Utility      float64
+	Rows         int
+	Completeness float64
+	Accuracy     float64
+	Timeliness   float64
+	Coverage     float64
+}
+
+// ChurnAndRefresh evolves the world one step and refreshes the given
+// number of sources (round-robin), returning the per-refresh stats. It is
+// the velocity workload used by E10.
+func (w *Wrangler) ChurnAndRefresh(churn float64, nSources int) ([]ReactStats, error) {
+	w.EvolveWorld(churn)
+	var out []ReactStats
+	for i, s := range w.Universe.Sources {
+		if i >= nSources {
+			break
+		}
+		st, err := w.RefreshSource(s.ID)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// AddFeedback records a feedback item only when the user context's
+// feedback budget allows it — "the budget for accessing sources" (§4.1)
+// has a twin on the payment side of pay-as-you-go. A zero budget means
+// unbounded. Returns false (and records nothing) when the budget would be
+// exceeded.
+func (w *Wrangler) AddFeedback(it feedback.Item) bool {
+	if w.UserCtx.FeedbackBudget > 0 && w.Feedback.Spent()+it.Cost > w.UserCtx.FeedbackBudget {
+		return false
+	}
+	w.Feedback.Add(it)
+	return true
+}
+
+// BudgetRemaining reports the unspent feedback budget (Inf-like -1 when
+// unbounded).
+func (w *Wrangler) BudgetRemaining() float64 {
+	if w.UserCtx.FeedbackBudget <= 0 {
+		return -1
+	}
+	rem := w.UserCtx.FeedbackBudget - w.Feedback.Spent()
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// FeedbackSeq returns the last assimilated feedback sequence number.
+func (w *Wrangler) FeedbackSeq() int { return w.lastSeq }
+
+// AsOfNow returns the universe's current wall-clock anchor.
+func (w *Wrangler) AsOfNow() time.Time { return sources.AsOf(w.Universe.World.Clock) }

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregation support for quality analyses and reporting: GROUP BY with
+// the usual aggregate functions over one numeric column.
+
+// AggFunc names an aggregate function.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggMean
+	AggMedian
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggMean:
+		return "mean"
+	case AggMedian:
+		return "median"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Aggregation is one requested aggregate over a column.
+type Aggregation struct {
+	Func   AggFunc
+	Column string // ignored for AggCount
+}
+
+// GroupBy groups rows by the key column and computes the aggregates,
+// returning a table with the key column followed by one column per
+// aggregate (named "<func>_<column>" or "count"). Null keys group
+// together under null; null values are skipped inside aggregates. Output
+// rows are ordered by key.
+func (t *Table) GroupBy(keyCol string, aggs ...Aggregation) (*Table, error) {
+	kc := t.schema.Index(keyCol)
+	if kc < 0 {
+		return nil, fmt.Errorf("dataset: groupby: unknown key column %q", keyCol)
+	}
+	colIdx := make([]int, len(aggs))
+	outSchema := Schema{Field{Name: keyCol, Kind: t.schema[kc].Kind}}
+	for i, a := range aggs {
+		if a.Func == AggCount {
+			colIdx[i] = -1
+			outSchema = append(outSchema, Field{Name: "count", Kind: KindInt})
+			continue
+		}
+		c := t.schema.Index(a.Column)
+		if c < 0 {
+			return nil, fmt.Errorf("dataset: groupby: unknown column %q", a.Column)
+		}
+		colIdx[i] = c
+		outSchema = append(outSchema, Field{Name: a.Func.String() + "_" + a.Column, Kind: KindFloat})
+	}
+	type group struct {
+		key  Value
+		vals [][]float64 // per aggregate, collected numeric values
+		n    int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range t.rows {
+		k := r[kc].Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: r[kc], vals: make([][]float64, len(aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.n++
+		for i, c := range colIdx {
+			if c < 0 || r[c].IsNull() || !r[c].IsNumeric() {
+				continue
+			}
+			g.vals[i] = append(g.vals[i], r[c].FloatVal())
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].key.Compare(groups[order[j]].key) < 0
+	})
+	out := NewTable(outSchema)
+	for _, k := range order {
+		g := groups[k]
+		row := Record{g.key}
+		for i, a := range aggs {
+			if a.Func == AggCount {
+				row = append(row, Int(int64(g.n)))
+				continue
+			}
+			row = append(row, aggregate(a.Func, g.vals[i]))
+		}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+func aggregate(f AggFunc, vals []float64) Value {
+	if len(vals) == 0 {
+		return Null()
+	}
+	switch f {
+	case AggSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return Float(s)
+	case AggMin:
+		m := math.Inf(1)
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return Float(m)
+	case AggMax:
+		m := math.Inf(-1)
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return Float(m)
+	case AggMean:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return Float(s / float64(len(vals)))
+	case AggMedian:
+		s := append([]float64(nil), vals...)
+		sort.Float64s(s)
+		mid := len(s) / 2
+		if len(s)%2 == 1 {
+			return Float(s[mid])
+		}
+		return Float((s[mid-1] + s[mid]) / 2)
+	default:
+		return Null()
+	}
+}
+
+// Stats summarises one numeric column: count of non-null numerics, min,
+// max, mean and standard deviation.
+type Stats struct {
+	Count    int
+	Min, Max float64
+	Mean     float64
+	StdDev   float64
+}
+
+// ColumnStats computes summary statistics for a numeric column.
+func (t *Table) ColumnStats(col string) (Stats, error) {
+	c := t.schema.Index(col)
+	if c < 0 {
+		return Stats{}, fmt.Errorf("dataset: stats: unknown column %q", col)
+	}
+	var s Stats
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, r := range t.rows {
+		v := r[c]
+		if v.IsNull() || !v.IsNumeric() {
+			continue
+		}
+		f := v.FloatVal()
+		s.Count++
+		sum += f
+		if f < s.Min {
+			s.Min = f
+		}
+		if f > s.Max {
+			s.Max = f
+		}
+	}
+	if s.Count == 0 {
+		return Stats{}, nil
+	}
+	s.Mean = sum / float64(s.Count)
+	ss := 0.0
+	for _, r := range t.rows {
+		v := r[c]
+		if v.IsNull() || !v.IsNumeric() {
+			continue
+		}
+		d := v.FloatVal() - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	return s, nil
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func aggTable() *Table {
+	t := NewTable(MustSchema(
+		Field{Name: "cat", Kind: KindString},
+		Field{Name: "price", Kind: KindFloat},
+	))
+	t.AppendValues(String("a"), Float(10))
+	t.AppendValues(String("a"), Float(20))
+	t.AppendValues(String("b"), Float(5))
+	t.AppendValues(String("a"), Null())
+	t.AppendValues(String("b"), Float(15))
+	t.AppendValues(Null(), Float(100))
+	return t
+}
+
+func TestGroupByCountSumMean(t *testing.T) {
+	out, err := aggTable().GroupBy("cat",
+		Aggregation{Func: AggCount},
+		Aggregation{Func: AggSum, Column: "price"},
+		Aggregation{Func: AggMean, Column: "price"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 { // null, a, b (null sorts first)
+		t.Fatalf("groups = %d", out.Len())
+	}
+	// Row 0 is the null group.
+	if !out.Row(0)[0].IsNull() || out.Row(0)[1].IntVal() != 1 {
+		t.Errorf("null group = %v", out.Row(0))
+	}
+	// Row 1: group a — 3 rows, sum 30 over non-null, mean 15.
+	if out.Row(1)[0].Str() != "a" || out.Row(1)[1].IntVal() != 3 ||
+		out.Row(1)[2].FloatVal() != 30 || out.Row(1)[3].FloatVal() != 15 {
+		t.Errorf("group a = %v", out.Row(1))
+	}
+}
+
+func TestGroupByMinMaxMedian(t *testing.T) {
+	out, err := aggTable().GroupBy("cat",
+		Aggregation{Func: AggMin, Column: "price"},
+		Aggregation{Func: AggMax, Column: "price"},
+		Aggregation{Func: AggMedian, Column: "price"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group b: min 5, max 15, median 10.
+	if out.Row(2)[1].FloatVal() != 5 || out.Row(2)[2].FloatVal() != 15 || out.Row(2)[3].FloatVal() != 10 {
+		t.Errorf("group b = %v", out.Row(2))
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	if _, err := aggTable().GroupBy("nope", Aggregation{Func: AggCount}); err == nil {
+		t.Error("unknown key should fail")
+	}
+	if _, err := aggTable().GroupBy("cat", Aggregation{Func: AggSum, Column: "nope"}); err == nil {
+		t.Error("unknown agg column should fail")
+	}
+}
+
+func TestGroupByAllNullValues(t *testing.T) {
+	tab := NewTable(MustSchema(Field{Name: "k", Kind: KindString}, Field{Name: "v", Kind: KindFloat}))
+	tab.AppendValues(String("x"), Null())
+	out, err := tab.GroupBy("k", Aggregation{Func: AggMean, Column: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Row(0)[1].IsNull() {
+		t.Error("aggregate over empty value set should be null")
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	s, err := aggTable().ColumnStats("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.Min != 5 || s.Max != 100 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Mean-30) > 1e-9 {
+		t.Errorf("mean = %f, want 30", s.Mean)
+	}
+	if s.StdDev <= 0 {
+		t.Errorf("stddev = %f", s.StdDev)
+	}
+	if _, err := aggTable().ColumnStats("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	empty := NewTable(MustSchema(Field{Name: "v", Kind: KindFloat}))
+	s, _ = empty.ColumnStats("v")
+	if s.Count != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	names := map[AggFunc]string{AggCount: "count", AggSum: "sum", AggMin: "min",
+		AggMax: "max", AggMean: "mean", AggMedian: "median"}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d String = %q", f, f.String())
+		}
+	}
+}
+
+// Property: sum of group counts equals table length.
+func TestGroupByCountPreservationProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tab := NewTable(MustSchema(Field{Name: "k", Kind: KindInt}, Field{Name: "v", Kind: KindFloat}))
+		for i, k := range keys {
+			tab.AppendValues(Int(int64(k%5)), Float(float64(i)))
+		}
+		out, err := tab.GroupBy("k", Aggregation{Func: AggCount})
+		if err != nil {
+			return false
+		}
+		total := int64(0)
+		for i := 0; i < out.Len(); i++ {
+			total += out.Row(i)[1].IntVal()
+		}
+		return total == int64(tab.Len())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min <= median <= max within every group.
+func TestGroupByOrderingProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		tab := NewTable(MustSchema(Field{Name: "k", Kind: KindInt}, Field{Name: "v", Kind: KindFloat}))
+		for i, v := range vals {
+			tab.AppendValues(Int(int64(i%3)), Float(float64(v)))
+		}
+		out, err := tab.GroupBy("k",
+			Aggregation{Func: AggMin, Column: "v"},
+			Aggregation{Func: AggMedian, Column: "v"},
+			Aggregation{Func: AggMax, Column: "v"},
+		)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < out.Len(); i++ {
+			mn, md, mx := out.Row(i)[1], out.Row(i)[2], out.Row(i)[3]
+			if mn.IsNull() {
+				continue
+			}
+			if mn.FloatVal() > md.FloatVal() || md.FloatVal() > mx.FloatVal() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadCSV parses CSV data with a header row into a table. Column kinds are
+// inferred per column: the most specific kind consistent with every
+// non-null cell (int ⊂ float ⊂ string; bool and time only if uniform).
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: read csv: empty input")
+	}
+	header := rows[0]
+	raw := rows[1:]
+	parsed := make([][]Value, len(raw))
+	kinds := make([]Kind, len(header))
+	for j := range kinds {
+		kinds[j] = KindNull
+	}
+	for i, row := range raw {
+		vals := make([]Value, len(header))
+		for j := range header {
+			var cell string
+			if j < len(row) {
+				cell = row[j]
+			}
+			v := Parse(cell)
+			vals[j] = v
+			kinds[j] = generalize(kinds[j], v.Kind())
+		}
+		parsed[i] = vals
+	}
+	schema := make(Schema, len(header))
+	for j, name := range header {
+		k := kinds[j]
+		if k == KindNull {
+			k = KindString
+		}
+		schema[j] = Field{Name: name, Kind: k}
+	}
+	t := NewTable(schema)
+	for _, vals := range parsed {
+		for j := range vals {
+			if !vals[j].IsNull() && vals[j].Kind() != schema[j].Kind {
+				if cv, ok := vals[j].Coerce(schema[j].Kind); ok {
+					vals[j] = cv
+				} else {
+					vals[j] = String(vals[j].String())
+				}
+			}
+		}
+		t.Append(vals)
+	}
+	return t, nil
+}
+
+// generalize returns the least general kind that covers both a and b,
+// treating null as the identity.
+func generalize(a, b Kind) Kind {
+	if a == KindNull {
+		return b
+	}
+	if b == KindNull || a == b {
+		return a
+	}
+	if (a == KindInt && b == KindFloat) || (a == KindFloat && b == KindInt) {
+		return KindFloat
+	}
+	return KindString
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("dataset: write csv: %w", err)
+	}
+	row := make([]string, len(t.Schema()))
+	for i := 0; i < t.Len(); i++ {
+		r := t.Row(i)
+		for j, v := range r {
+			row[j] = v.String()
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJSON parses a JSON array of flat objects into a table. The schema is
+// the union of keys across objects, sorted lexicographically; kinds are
+// inferred as in ReadCSV. Nested objects and arrays are rendered as their
+// compact JSON text (string kind).
+func ReadJSON(r io.Reader) (*Table, error) {
+	var objs []map[string]json.RawMessage
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&objs); err != nil {
+		return nil, fmt.Errorf("dataset: read json: %w", err)
+	}
+	keySet := make(map[string]bool)
+	for _, o := range objs {
+		for k := range o {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kinds := make([]Kind, len(keys))
+	parsed := make([][]Value, len(objs))
+	for i, o := range objs {
+		vals := make([]Value, len(keys))
+		for j, k := range keys {
+			raw, ok := o[k]
+			if !ok {
+				vals[j] = Null()
+				continue
+			}
+			vals[j] = decodeJSONValue(raw)
+			kinds[j] = generalize(kinds[j], vals[j].Kind())
+		}
+		parsed[i] = vals
+	}
+	schema := make(Schema, len(keys))
+	for j, k := range keys {
+		kind := kinds[j]
+		if kind == KindNull {
+			kind = KindString
+		}
+		schema[j] = Field{Name: k, Kind: kind}
+	}
+	t := NewTable(schema)
+	for _, vals := range parsed {
+		for j := range vals {
+			if !vals[j].IsNull() && vals[j].Kind() != schema[j].Kind {
+				if cv, ok := vals[j].Coerce(schema[j].Kind); ok {
+					vals[j] = cv
+				} else {
+					vals[j] = String(vals[j].String())
+				}
+			}
+		}
+		t.Append(vals)
+	}
+	return t, nil
+}
+
+func decodeJSONValue(raw json.RawMessage) Value {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return Parse(s)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err == nil {
+		if f == float64(int64(f)) {
+			return Int(int64(f))
+		}
+		return Float(f)
+	}
+	var b bool
+	if err := json.Unmarshal(raw, &b); err == nil {
+		return Bool(b)
+	}
+	var null any
+	if err := json.Unmarshal(raw, &null); err == nil && null == nil {
+		return Null()
+	}
+	return String(string(raw))
+}
+
+// WriteJSON writes the table as a JSON array of objects, omitting null
+// fields.
+func WriteJSON(w io.Writer, t *Table) error {
+	objs := make([]map[string]any, 0, t.Len())
+	names := t.Schema().Names()
+	for i := 0; i < t.Len(); i++ {
+		o := make(map[string]any, len(names))
+		for j, v := range t.Row(i) {
+			if v.IsNull() {
+				continue
+			}
+			switch v.Kind() {
+			case KindInt:
+				o[names[j]] = v.IntVal()
+			case KindFloat:
+				o[names[j]] = v.FloatVal()
+			case KindBool:
+				o[names[j]] = v.BoolVal()
+			default:
+				o[names[j]] = v.String()
+			}
+		}
+		objs = append(objs, o)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(objs)
+}

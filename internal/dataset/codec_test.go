@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVInference(t *testing.T) {
+	in := "id,name,price,active\n1,usb cable,4.99,true\n2,hdmi,7,false\n3,,,\n"
+	tab, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Schema()
+	want := map[string]Kind{"id": KindInt, "name": KindString, "price": KindFloat, "active": KindBool}
+	for name, k := range want {
+		i := s.Index(name)
+		if i < 0 || s[i].Kind != k {
+			t.Errorf("column %s kind = %v, want %v", name, s[i].Kind, k)
+		}
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Len())
+	}
+	if !tab.Get(2, "name").IsNull() {
+		t.Error("empty cell should be null")
+	}
+	// int column promoted by the 7 row? price has 4.99 and 7 → float.
+	if tab.Get(1, "price").Kind() != KindFloat {
+		t.Errorf("mixed int/float column should coerce to float, got %v", tab.Get(1, "price").Kind())
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	tab, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil || tab.Len() != 0 {
+		t.Error("header-only input should yield empty table")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := productTable()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round trip rows = %d, want %d", back.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		for j := range tab.Schema() {
+			if !back.Row(i)[j].ApproxEqual(tab.Row(i)[j], 1e-9) {
+				t.Errorf("cell (%d,%d): %v != %v", i, j, back.Row(i)[j], tab.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	in := `[{"name":"usb","price":4.99},{"name":"hdmi","price":7,"stock":3},{"name":"mouse"}]`
+	tab, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Len())
+	}
+	if tab.Schema().Index("stock") < 0 {
+		t.Error("union schema missing key")
+	}
+	if !tab.Get(0, "stock").IsNull() {
+		t.Error("missing key should be null")
+	}
+	if tab.Get(1, "price").Kind() != KindFloat {
+		t.Errorf("price kind = %v, want float", tab.Get(1, "price").Kind())
+	}
+}
+
+func TestReadJSONNestedAsText(t *testing.T) {
+	in := `[{"name":"x","tags":["a","b"]}]`
+	tab, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tab.Get(0, "tags")
+	if v.Kind() != KindString || !strings.Contains(v.Str(), "a") {
+		t.Errorf("nested should flatten to JSON text, got %v", v)
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"not":"array"}`)); err == nil {
+		t.Error("non-array should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := productTable()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round trip rows = %d, want %d", back.Len(), tab.Len())
+	}
+	// Column order may differ (JSON keys sorted); compare by name.
+	for i := 0; i < tab.Len(); i++ {
+		for _, name := range tab.Schema().Names() {
+			if !back.Get(i, name).ApproxEqual(tab.Get(i, name), 1e-9) {
+				t.Errorf("row %d col %s: %v != %v", i, name, back.Get(i, name), tab.Get(i, name))
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadKV parses blank-line-separated "key: value" record blocks (the
+// LDIF-ish export format of sources.KindKV) into a table. The schema is
+// the union of keys across blocks, sorted; kinds are inferred as in
+// ReadCSV. Lines without a colon are skipped; repeated keys within one
+// block keep the first value.
+func ReadKV(r io.Reader) (*Table, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	var blocks []map[string]string
+	cur := map[string]string{}
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, cur)
+			cur = map[string]string{}
+		}
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		i := strings.Index(line, ":")
+		if i <= 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:i])
+		val := strings.TrimSpace(line[i+1:])
+		if key == "" {
+			continue
+		}
+		if _, dup := cur[key]; !dup {
+			cur[key] = val
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read kv: %w", err)
+	}
+	flush()
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("dataset: read kv: no records")
+	}
+	keySet := map[string]bool{}
+	for _, b := range blocks {
+		for k := range b {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kinds := make([]Kind, len(keys))
+	parsed := make([][]Value, len(blocks))
+	for bi, b := range blocks {
+		vals := make([]Value, len(keys))
+		for ki, k := range keys {
+			raw, ok := b[k]
+			if !ok {
+				vals[ki] = Null()
+				continue
+			}
+			v := Parse(raw)
+			vals[ki] = v
+			kinds[ki] = generalize(kinds[ki], v.Kind())
+		}
+		parsed[bi] = vals
+	}
+	schema := make(Schema, len(keys))
+	for ki, k := range keys {
+		kind := kinds[ki]
+		if kind == KindNull {
+			kind = KindString
+		}
+		schema[ki] = Field{Name: k, Kind: kind}
+	}
+	t := NewTable(schema)
+	for _, vals := range parsed {
+		for j := range vals {
+			if !vals[j].IsNull() && vals[j].Kind() != schema[j].Kind {
+				if cv, ok := vals[j].Coerce(schema[j].Kind); ok {
+					vals[j] = cv
+				} else {
+					vals[j] = String(vals[j].String())
+				}
+			}
+		}
+		t.Append(vals)
+	}
+	return t, nil
+}

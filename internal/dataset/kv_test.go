@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadKV(t *testing.T) {
+	in := `sku: A
+title: USB Cable
+cost: 4.99
+
+sku: B
+title: HDMI Cable
+cost: 7.50
+stock: 3
+
+junk line without separator
+sku: C
+`
+	tab, err := ReadKV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Len())
+	}
+	if tab.Schema().Index("stock") < 0 {
+		t.Error("union schema missing stock")
+	}
+	if tab.Get(0, "cost").Kind() != KindFloat || tab.Get(0, "cost").FloatVal() != 4.99 {
+		t.Errorf("cost = %v", tab.Get(0, "cost"))
+	}
+	if !tab.Get(0, "stock").IsNull() {
+		t.Error("missing key should be null")
+	}
+	if !tab.Get(2, "title").IsNull() {
+		t.Error("block C has no title")
+	}
+}
+
+func TestReadKVEmpty(t *testing.T) {
+	if _, err := ReadKV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadKV(strings.NewReader("\n\n  \n")); err == nil {
+		t.Error("blank input should error")
+	}
+}
+
+func TestReadKVDuplicateKeyKeepsFirst(t *testing.T) {
+	in := "k: first\nk: second\n"
+	tab, err := ReadKV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Get(0, "k").Str() != "first" {
+		t.Errorf("duplicate key = %v", tab.Get(0, "k"))
+	}
+}
+
+func TestReadKVValueWithColon(t *testing.T) {
+	in := "url: https://shop.example/x\n"
+	tab, err := ReadKV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Get(0, "url").Str() != "https://shop.example/x" {
+		t.Errorf("url = %v", tab.Get(0, "url"))
+	}
+}

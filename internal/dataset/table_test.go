@@ -1,0 +1,333 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func productTable() *Table {
+	t := NewTable(MustSchema(
+		Field{Name: "id", Kind: KindInt},
+		Field{Name: "name", Kind: KindString},
+		Field{Name: "price", Kind: KindFloat},
+	))
+	t.AppendValues(Int(1), String("usb cable"), Float(4.99))
+	t.AppendValues(Int(2), String("hdmi cable"), Float(7.50))
+	t.AppendValues(Int(3), String("mouse"), Float(12.00))
+	t.AppendValues(Int(2), String("hdmi cable"), Float(7.50))
+	return t
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "a", Kind: KindInt}); err == nil {
+		t.Error("duplicate field names should fail")
+	}
+	if _, err := NewSchema(Field{Name: "", Kind: KindInt}); err == nil {
+		t.Error("empty field name should fail")
+	}
+	s, err := NewSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindString})
+	if err != nil || len(s) != 2 {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	if s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Error("Index lookup wrong")
+	}
+	if strings.Join(s.Names(), ",") != "a,b" {
+		t.Error("Names wrong")
+	}
+}
+
+func TestSchemaEqualClone(t *testing.T) {
+	s := MustSchema(Field{Name: "a", Kind: KindInt})
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	c[0].Name = "b"
+	if s.Equal(c) || s[0].Name != "a" {
+		t.Error("clone should be independent")
+	}
+}
+
+func TestAppendPadsAndTruncates(t *testing.T) {
+	tab := NewTable(MustSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindInt}))
+	tab.Append(Record{Int(1)})
+	tab.Append(Record{Int(1), Int(2), Int(3)})
+	if tab.Len() != 2 {
+		t.Fatal("rows missing")
+	}
+	if !tab.Row(0)[1].IsNull() {
+		t.Error("short row should pad with null")
+	}
+	if len(tab.Row(1)) != 2 {
+		t.Error("long row should truncate")
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	tab := productTable()
+	if tab.Get(0, "name").Str() != "usb cable" {
+		t.Error("Get wrong")
+	}
+	if !tab.Get(0, "missing").IsNull() || !tab.Get(99, "name").IsNull() {
+		t.Error("out-of-range Get should be null")
+	}
+	if !tab.Set(0, "price", Float(5.99)) || tab.Get(0, "price").FloatVal() != 5.99 {
+		t.Error("Set failed")
+	}
+	if tab.Set(0, "missing", Int(1)) {
+		t.Error("Set on missing column should report false")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tab := productTable()
+	p, err := tab.Project("name", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schema()) != 2 || p.Schema()[0].Name != "name" || p.Schema()[1].Name != "id" {
+		t.Error("projected schema wrong")
+	}
+	if p.Row(0)[0].Str() != "usb cable" || p.Row(0)[1].IntVal() != 1 {
+		t.Error("projected values wrong")
+	}
+	if _, err := tab.Project("nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tab := productTable()
+	cheap := tab.Select(func(r Record) bool { return r[2].FloatVal() < 10 })
+	if cheap.Len() != 3 {
+		t.Errorf("Select returned %d rows, want 3", cheap.Len())
+	}
+	// Mutating the selection must not affect the original.
+	cheap.Row(0)[1] = String("hacked")
+	if tab.Row(0)[1].Str() != "usb cable" {
+		t.Error("Select aliases storage")
+	}
+}
+
+func TestRename(t *testing.T) {
+	tab := productTable()
+	r, err := tab.Rename("price", "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Index("cost") != 2 || tab.Schema().Index("price") != 2 {
+		t.Error("rename should copy")
+	}
+	if _, err := tab.Rename("nope", "x"); err == nil {
+		t.Error("unknown column rename should fail")
+	}
+	if _, err := tab.Rename("id", "name"); err == nil {
+		t.Error("rename collision should fail")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	tab := productTable()
+	tab.Sort("price")
+	prev := -1.0
+	for i := 0; i < tab.Len(); i++ {
+		p := tab.Row(i)[2].FloatVal()
+		if p < prev {
+			t.Fatal("not sorted")
+		}
+		prev = p
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab := productTable()
+	d := tab.Distinct()
+	if d.Len() != 3 {
+		t.Errorf("Distinct = %d rows, want 3", d.Len())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := productTable()
+	b := productTable()
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != a.Len()+b.Len() {
+		t.Error("union length wrong")
+	}
+	c := NewTable(MustSchema(Field{Name: "x", Kind: KindInt}))
+	if _, err := a.Union(c); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	prices := productTable()
+	stock := NewTable(MustSchema(Field{Name: "pid", Kind: KindInt}, Field{Name: "qty", Kind: KindInt}))
+	stock.AppendValues(Int(1), Int(10))
+	stock.AppendValues(Int(3), Int(0))
+	stock.AppendValues(Null(), Int(99)) // null keys never join
+	j, err := prices.Join(stock, "id", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join = %d rows, want 2", j.Len())
+	}
+	if j.Schema().Index("qty") < 0 {
+		t.Error("right columns missing")
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	a := NewTable(MustSchema(Field{Name: "id", Kind: KindInt}, Field{Name: "v", Kind: KindInt}))
+	a.AppendValues(Int(1), Int(2))
+	b := NewTable(MustSchema(Field{Name: "id", Kind: KindInt}, Field{Name: "v", Kind: KindInt}))
+	b.AppendValues(Int(1), Int(3))
+	j, err := a.Join(b, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema().Index("v_r") < 0 || j.Schema().Index("id_r") < 0 {
+		t.Errorf("collision suffixing failed: %v", j.Schema())
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	prices := productTable().Distinct()
+	stock := NewTable(MustSchema(Field{Name: "pid", Kind: KindInt}, Field{Name: "qty", Kind: KindInt}))
+	stock.AppendValues(Int(1), Int(10))
+	j, err := prices.LeftJoin(stock, "id", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("leftjoin = %d rows, want 3", j.Len())
+	}
+	matched := 0
+	for i := 0; i < j.Len(); i++ {
+		if !j.Get(i, "qty").IsNull() {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1", matched)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	tab := productTable()
+	g, err := tab.GroupCount("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", g.Len())
+	}
+	if g.Row(0)[0].Str() != "hdmi cable" || g.Row(0)[1].IntVal() != 2 {
+		t.Errorf("top group wrong: %v", g.Row(0))
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tab := productTable()
+	col, err := tab.Column("price")
+	if err != nil || len(col) != 4 {
+		t.Fatalf("Column failed: %v", err)
+	}
+	if _, err := tab.Column("nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab := productTable()
+	c := tab.Clone()
+	c.Set(0, "name", String("x"))
+	if tab.Get(0, "name").Str() != "usb cable" {
+		t.Error("clone aliases storage")
+	}
+}
+
+func TestTableStringPreview(t *testing.T) {
+	tab := NewTable(MustSchema(Field{Name: "a", Kind: KindInt}))
+	for i := 0; i < 15; i++ {
+		tab.AppendValues(Int(int64(i)))
+	}
+	s := tab.String()
+	if !strings.Contains(s, "15 rows") || !strings.Contains(s, "more") {
+		t.Errorf("preview missing truncation note: %s", s)
+	}
+}
+
+// Property: Distinct is idempotent.
+func TestDistinctIdempotentProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		tab := NewTable(MustSchema(Field{Name: "v", Kind: KindInt}))
+		for _, v := range vals {
+			tab.AppendValues(Int(int64(v)))
+		}
+		d1 := tab.Distinct()
+		d2 := d1.Distinct()
+		if d1.Len() != d2.Len() {
+			return false
+		}
+		for i := 0; i < d1.Len(); i++ {
+			if !d1.Row(i).Equal(d2.Row(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join row count equals the sum over key groups of |L_k|·|R_k|.
+func TestJoinCardinalityProperty(t *testing.T) {
+	f := func(left, right []uint8) bool {
+		lt := NewTable(MustSchema(Field{Name: "k", Kind: KindInt}))
+		rt := NewTable(MustSchema(Field{Name: "k", Kind: KindInt}))
+		lc := map[uint8]int{}
+		rc := map[uint8]int{}
+		for _, v := range left {
+			v %= 8
+			lt.AppendValues(Int(int64(v)))
+			lc[v]++
+		}
+		for _, v := range right {
+			v %= 8
+			rt.AppendValues(Int(int64(v)))
+			rc[v]++
+		}
+		want := 0
+		for k, n := range lc {
+			want += n * rc[k]
+		}
+		j, err := lt.Join(rt, "k", "k")
+		return err == nil && j.Len() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection preserves row count.
+func TestProjectPreservesRowsProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		tab := NewTable(MustSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindInt}))
+		for _, v := range vals {
+			tab.AppendValues(Int(int64(v)), Int(int64(v)*2))
+		}
+		p, err := tab.Project("b")
+		return err == nil && p.Len() == tab.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package er
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func constraintTable() *dataset.Table {
+	t := dataset.NewTable(dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+		dataset.Field{Name: "brand", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+	))
+	// 0 & 1: near-identical (rule merges). 2: similar to 0 (rule merges).
+	// 3: unrelated.
+	t.AppendValues(dataset.Null(), dataset.String("Anker Pro USB Cable 2m"), dataset.String("Anker"), dataset.Float(10))
+	t.AppendValues(dataset.Null(), dataset.String("Anker Pro USB Cable 2m"), dataset.String("Anker"), dataset.Float(10))
+	t.AppendValues(dataset.Null(), dataset.String("Anker Pro USB Cabel 2m"), dataset.String("Anker"), dataset.Float(10.1))
+	t.AppendValues(dataset.Null(), dataset.String("Voltix Kettle Steel"), dataset.String("Voltix"), dataset.Float(45))
+	return t
+}
+
+func TestResolveConstrainedNoConstraintsMatchesResolve(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	plain, err := r.Resolve(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, conflicts, err := r.ResolveConstrained(tab, nil, nil)
+	if err != nil || conflicts != 0 {
+		t.Fatal(err, conflicts)
+	}
+	if plain.Num != constrained.Num {
+		t.Errorf("cluster counts differ: %d vs %d", plain.Num, constrained.Num)
+	}
+	for i := range plain.Assign {
+		for j := range plain.Assign {
+			if (plain.Assign[i] == plain.Assign[j]) != (constrained.Assign[i] == constrained.Assign[j]) {
+				t.Fatalf("partitions differ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMustLinkForcesMerge(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	// 0 and 3 are nothing alike; a must-link still merges them.
+	c, conflicts, err := r.ResolveConstrained(tab, []Pair{{I: 0, J: 3}}, nil)
+	if err != nil || conflicts != 0 {
+		t.Fatal(err, conflicts)
+	}
+	if c.Assign[0] != c.Assign[3] {
+		t.Error("must-link ignored")
+	}
+}
+
+func TestCannotLinkBlocksMerge(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	// Rows 0 and 2 would merge by similarity; the user says they are
+	// different products.
+	c, conflicts, err := r.ResolveConstrained(tab, nil, []Pair{{I: 0, J: 2}})
+	if err != nil || conflicts != 0 {
+		t.Fatal(err, conflicts)
+	}
+	if c.Assign[0] == c.Assign[2] {
+		t.Error("cannot-link ignored")
+	}
+	// 0 and 1 still merge.
+	if c.Assign[0] != c.Assign[1] {
+		t.Error("unconstrained merge lost")
+	}
+}
+
+func TestCannotLinkBlocksTransitiveMerge(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	// Cannot-link 1 and 2: even though both are similar to 0, the
+	// clustering must not route 1 and 2 into one cluster through 0.
+	c, _, err := r.ResolveConstrained(tab, nil, []Pair{{I: 1, J: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Assign[1] == c.Assign[2] {
+		t.Error("transitive merge violated the cannot-link")
+	}
+}
+
+func TestMustWinsOverCannotConflict(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	c, conflicts, err := r.ResolveConstrained(tab,
+		[]Pair{{I: 0, J: 1}}, []Pair{{I: 0, J: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", conflicts)
+	}
+	if c.Assign[0] != c.Assign[1] {
+		t.Error("must-link should win the contradiction")
+	}
+}
+
+func TestConstrainedInvalidPairsIgnored(t *testing.T) {
+	tab := constraintTable()
+	r := NewResolver("sku", "name", "brand", "price")
+	c, conflicts, err := r.ResolveConstrained(tab,
+		[]Pair{{I: -1, J: 2}, {I: 0, J: 99}, {I: 1, J: 1}}, nil)
+	if err != nil || conflicts != 0 {
+		t.Fatal(err, conflicts)
+	}
+	if len(c.Assign) != tab.Len() {
+		t.Error("clustering incomplete")
+	}
+}
+
+func TestConstrainedEmptyTable(t *testing.T) {
+	empty := dataset.NewTable(constraintTable().Schema())
+	r := NewResolver("sku", "name", "brand", "price")
+	c, _, err := r.ResolveConstrained(empty, nil, nil)
+	if err != nil || c.Num != 0 {
+		t.Error("empty table should yield empty clustering")
+	}
+}
+
+func TestConstrainedPartitionValid(t *testing.T) {
+	tab, truth := dupTable(9, 40)
+	r := NewResolver("sku", "name", "brand", "price")
+	var must, cannot []Pair
+	// Derive a few constraints from truth.
+	for i := 0; i < 20; i += 2 {
+		if truth[i] == truth[i+1] {
+			must = append(must, Pair{I: i, J: i + 1})
+		} else {
+			cannot = append(cannot, Pair{I: i, J: i + 1})
+		}
+	}
+	c, _, err := r.ResolveConstrained(tab, must, cannot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, id := range c.Assign {
+		if id < 0 || id >= c.Num {
+			t.Fatal("invalid cluster id")
+		}
+		seen[id] = true
+	}
+	if len(seen) != c.Num {
+		t.Fatal("cluster ids not dense")
+	}
+	// Constraints respected.
+	for _, p := range must {
+		if c.Assign[p.I] != c.Assign[p.J] {
+			t.Fatal("must-link violated")
+		}
+	}
+	for _, p := range cannot {
+		if c.Assign[p.I] == c.Assign[p.J] {
+			t.Fatal("cannot-link violated")
+		}
+	}
+	// Constraints should not hurt quality vs truth.
+	_, _, f1 := PairwiseMetrics(c, truth)
+	plain, _ := r.Resolve(tab)
+	_, _, f1Plain := PairwiseMetrics(plain, truth)
+	if f1 < f1Plain-0.02 {
+		t.Errorf("true constraints degraded F1: %f vs %f", f1, f1Plain)
+	}
+}

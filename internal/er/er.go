@@ -1,0 +1,449 @@
+// Package er implements entity resolution for the Data Integration
+// component: q-gram blocking, feature-based pair scoring, transitive
+// clustering, and Corleone-style rule refinement from feedback [20] — the
+// matcher's weights and threshold are learned from labelled pairs supplied
+// by users or simulated crowds, which is the pay-as-you-go loop of §2.4.
+package er
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// Pair is an unordered candidate record pair (I < J, row indices).
+type Pair struct {
+	I, J int
+}
+
+// FeatureNames lists the similarity features the matcher computes, in the
+// order Features returns them.
+var FeatureNames = []string{"key_equal", "name_sim", "secondary_sim", "numeric_sim"}
+
+// Resolver scores candidate pairs with a weighted linear rule and clusters
+// matches transitively. KeyColumn (e.g. "sku") provides exact-identity
+// evidence; NameColumn fuzzy-text evidence; SecondaryColumn (e.g. "brand"
+// or "city") categorical evidence; NumericColumn (e.g. "price") numeric
+// closeness.
+type Resolver struct {
+	KeyColumn       string
+	NameColumn      string
+	SecondaryColumn string
+	NumericColumn   string
+
+	Weights   []float64 // aligned with FeatureNames
+	Threshold float64   // minimum score to declare a match
+
+	BlockGramSize int // q for blocking grams (default 3)
+	MaxBlockSize  int // blocks larger than this are skipped (default 60)
+}
+
+// NewResolver returns a resolver with sensible default weights for product
+// records: exact key agreement is near-conclusive, name similarity is the
+// main fuzzy signal.
+func NewResolver(keyCol, nameCol, secondaryCol, numericCol string) *Resolver {
+	return &Resolver{
+		KeyColumn:       keyCol,
+		NameColumn:      nameCol,
+		SecondaryColumn: secondaryCol,
+		NumericColumn:   numericCol,
+		Weights:         []float64{0.55, 0.30, 0.10, 0.05},
+		Threshold:       0.92,
+		BlockGramSize:   3,
+		MaxBlockSize:    60,
+	}
+}
+
+// Missing marks a feature that could not be computed because a value was
+// null on either side. Score excludes missing features instead of treating
+// them as disagreement — a record without a SKU is not evidence against a
+// match.
+const Missing = -1.0
+
+// Features computes the similarity feature vector for a record pair.
+// Entries are in [0,1] or Missing.
+func (r *Resolver) Features(t *dataset.Table, i, j int) []float64 {
+	f := []float64{Missing, Missing, Missing, Missing}
+	get := func(col string, row int) dataset.Value {
+		if col == "" {
+			return dataset.Null()
+		}
+		return t.Get(row, col)
+	}
+	ka, kb := get(r.KeyColumn, i), get(r.KeyColumn, j)
+	if !ka.IsNull() && !kb.IsNull() {
+		if text.Normalize(ka.String()) == text.Normalize(kb.String()) {
+			f[0] = 1
+		} else {
+			f[0] = 0
+		}
+	}
+	na, nb := get(r.NameColumn, i), get(r.NameColumn, j)
+	if !na.IsNull() && !nb.IsNull() {
+		sa, sb := na.String(), nb.String()
+		jw := text.JaroWinkler(text.Normalize(sa), text.Normalize(sb))
+		if jw < 0.5 {
+			// Token alignment cannot rescue a pair this dissimilar; skip
+			// the expensive Monge-Elkan pass (hot path: blocking emits
+			// many low-similarity candidates).
+			f[1] = jw
+		} else {
+			f[1] = 0.5*jw + 0.5*text.MongeElkanSym(sa, sb)
+		}
+	}
+	va, vb := get(r.SecondaryColumn, i), get(r.SecondaryColumn, j)
+	if !va.IsNull() && !vb.IsNull() {
+		if text.Normalize(va.String()) == text.Normalize(vb.String()) {
+			f[2] = 1
+		} else {
+			f[2] = text.JaroWinkler(text.Normalize(va.String()), text.Normalize(vb.String()))
+		}
+	}
+	pa, pb := get(r.NumericColumn, i), get(r.NumericColumn, j)
+	if pa.IsNumeric() && pb.IsNumeric() {
+		x, y := pa.FloatVal(), pb.FloatVal()
+		if x == y {
+			f[3] = 1
+		} else {
+			den := x
+			if y > x {
+				den = y
+			}
+			if den != 0 {
+				d := (x - y) / den
+				if d < 0 {
+					d = -d
+				}
+				f[3] = 1 - d
+				if f[3] < 0 {
+					f[3] = 0
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Score combines a feature vector with the learned weights, renormalising
+// over the features that are present (not Missing). A present-but-
+// disagreeing key is a hard veto: records carrying distinct identifiers
+// are distinct entities regardless of how similar their names look.
+func (r *Resolver) Score(features []float64) float64 {
+	if len(features) > 0 && features[0] == 0 {
+		return 0
+	}
+	s, wsum := 0.0, 0.0
+	for i, w := range r.Weights {
+		if i < len(features) && features[i] >= 0 {
+			s += w * features[i]
+			wsum += w
+		}
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return s / wsum
+}
+
+// CandidatePairs blocks the table on name q-grams (plus exact keys) and
+// returns the deduplicated candidate pairs. Blocking keeps the candidate
+// set near-linear instead of quadratic; oversized blocks (stop-gram
+// effects) are skipped.
+func (r *Resolver) CandidatePairs(t *dataset.Table) []Pair {
+	blocks := map[string][]int{}
+	for i := 0; i < t.Len(); i++ {
+		if r.KeyColumn != "" {
+			if v := t.Get(i, r.KeyColumn); !v.IsNull() {
+				k := "k:" + text.Normalize(v.String())
+				blocks[k] = append(blocks[k], i)
+			}
+		}
+		if r.NameColumn != "" {
+			if v := t.Get(i, r.NameColumn); !v.IsNull() {
+				toks := text.Tokenize(v.String())
+				seen := map[string]bool{}
+				for _, tok := range toks {
+					for _, g := range text.QGrams(tok, r.BlockGramSize) {
+						key := "g:" + g
+						if !seen[key] {
+							seen[key] = true
+							blocks[key] = append(blocks[key], i)
+						}
+					}
+				}
+			}
+		}
+	}
+	pairSet := map[Pair]bool{}
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows := blocks[k]
+		if len(rows) < 2 || len(rows) > r.MaxBlockSize {
+			continue
+		}
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				p := Pair{I: rows[a], J: rows[b]}
+				if p.I > p.J {
+					p.I, p.J = p.J, p.I
+				}
+				pairSet[p] = true
+			}
+		}
+	}
+	out := make([]Pair, 0, len(pairSet))
+	for p := range pairSet {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Clustering is a partition of table rows into entities.
+type Clustering struct {
+	Assign []int // row -> cluster id (0..NumClusters-1)
+	Num    int
+}
+
+// Clusters returns the row indices per cluster id.
+func (c *Clustering) Clusters() [][]int {
+	out := make([][]int, c.Num)
+	for row, id := range c.Assign {
+		out[id] = append(out[id], row)
+	}
+	return out
+}
+
+// Resolve blocks, scores and transitively clusters the table. Rows with a
+// pair score >= Threshold are merged (union-find).
+func (r *Resolver) Resolve(t *dataset.Table) (*Clustering, error) {
+	if t.Len() == 0 {
+		return &Clustering{Assign: nil, Num: 0}, nil
+	}
+	if r.NameColumn == "" && r.KeyColumn == "" {
+		return nil, fmt.Errorf("er: resolver needs at least a key or name column")
+	}
+	parent := make([]int, t.Len())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range r.CandidatePairs(t) {
+		if r.Score(r.Features(t, p.I, p.J)) >= r.Threshold {
+			union(p.I, p.J)
+		}
+	}
+	ids := map[int]int{}
+	assign := make([]int, t.Len())
+	for i := range assign {
+		root := find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		assign[i] = id
+	}
+	return &Clustering{Assign: assign, Num: len(ids)}, nil
+}
+
+// LabeledPair is duplicate/non-duplicate feedback on a record pair — the
+// unit of crowd payment in Example 5.
+type LabeledPair struct {
+	Pair      Pair
+	Duplicate bool
+}
+
+// Learn refines the matcher from labelled pairs: it grid-searches the
+// decision threshold and rebalances feature weights by each feature's
+// observed separation power (mean on duplicates minus mean on
+// non-duplicates). Guardrails keep noisy feedback from destroying a
+// working rule: refinement needs at least three labels of each class, and
+// a fit whose training F1 stays below 0.5 is rejected (crowd noise, not
+// signal). Returns the adopted training F1 (0 when nothing was adopted).
+func (r *Resolver) Learn(t *dataset.Table, labels []LabeledPair) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	posCount, negCount := 0, 0
+	for _, l := range labels {
+		if l.Duplicate {
+			posCount++
+		} else {
+			negCount++
+		}
+	}
+	if posCount < 3 || negCount < 3 {
+		return 0
+	}
+	origWeights := append([]float64(nil), r.Weights...)
+	origThreshold := r.Threshold
+	// Baseline: how well does the current rule already classify the
+	// labels? A refinement is adopted only if it beats this.
+	origF1 := r.trainingF1(t, labels)
+	// Feature separation → new weights.
+	nFeat := len(FeatureNames)
+	posMean := make([]float64, nFeat)
+	negMean := make([]float64, nFeat)
+	posN := make([]int, nFeat)
+	negN := make([]int, nFeat)
+	nPos, nNeg := 0, 0
+	feats := make([][]float64, len(labels))
+	for li, l := range labels {
+		f := r.Features(t, l.Pair.I, l.Pair.J)
+		feats[li] = f
+		if l.Duplicate {
+			nPos++
+		} else {
+			nNeg++
+		}
+		for i := range f {
+			if f[i] < 0 {
+				continue // Missing features carry no signal
+			}
+			if l.Duplicate {
+				posMean[i] += f[i]
+				posN[i]++
+			} else {
+				negMean[i] += f[i]
+				negN[i]++
+			}
+		}
+	}
+	if nPos > 0 && nNeg > 0 {
+		newW := make([]float64, nFeat)
+		sum := 0.0
+		for i := 0; i < nFeat; i++ {
+			sep := 0.01
+			if posN[i] > 0 && negN[i] > 0 {
+				sep = posMean[i]/float64(posN[i]) - negMean[i]/float64(negN[i])
+				if sep < 0.01 {
+					sep = 0.01
+				}
+			}
+			newW[i] = sep
+			sum += sep
+		}
+		for i := range newW {
+			newW[i] /= sum
+		}
+		r.Weights = newW
+	}
+	// Threshold grid search for best F1.
+	bestTh, bestF1 := r.Threshold, -1.0
+	for th := 0.20; th <= 0.95; th += 0.01 {
+		tp, fp, fn := 0, 0, 0
+		for li, l := range labels {
+			pred := r.Score(feats[li]) >= th
+			switch {
+			case pred && l.Duplicate:
+				tp++
+			case pred && !l.Duplicate:
+				fp++
+			case !pred && l.Duplicate:
+				fn++
+			}
+		}
+		f1 := f1Score(tp, fp, fn)
+		if f1 > bestF1 {
+			bestF1, bestTh = f1, th
+		}
+	}
+	if bestF1 < 0.5 || bestF1 <= origF1 {
+		// The fit is garbage (label noise) or no better than the rule we
+		// already have — reject it; feedback must never make things worse.
+		r.Weights = origWeights
+		r.Threshold = origThreshold
+		return origF1
+	}
+	r.Threshold = bestTh
+	return bestF1
+}
+
+// trainingF1 scores the resolver's current rule against labelled pairs.
+func (r *Resolver) trainingF1(t *dataset.Table, labels []LabeledPair) float64 {
+	tp, fp, fn := 0, 0, 0
+	for _, l := range labels {
+		pred := r.Score(r.Features(t, l.Pair.I, l.Pair.J)) >= r.Threshold
+		switch {
+		case pred && l.Duplicate:
+			tp++
+		case pred && !l.Duplicate:
+			fp++
+		case !pred && l.Duplicate:
+			fn++
+		}
+	}
+	return f1Score(tp, fp, fn)
+}
+
+func f1Score(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	return 2 * p * rec / (p + rec)
+}
+
+// PairwiseMetrics scores a clustering against ground-truth entity IDs
+// (truth[row] = entity id, "" rows are ignored): pairwise precision,
+// recall and F1 over all row pairs that share a truth id.
+func PairwiseMetrics(c *Clustering, truth []string) (p, r, f float64) {
+	tp, fp, fn := 0, 0, 0
+	n := len(truth)
+	for i := 0; i < n; i++ {
+		if truth[i] == "" {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if truth[j] == "" {
+				continue
+			}
+			same := truth[i] == truth[j]
+			pred := c.Assign[i] == c.Assign[j]
+			switch {
+			case same && pred:
+				tp++
+			case !same && pred:
+				fp++
+			case same && !pred:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return p, r, f
+}

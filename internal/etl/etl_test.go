@@ -1,0 +1,180 @@
+package etl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sources"
+)
+
+func target() dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+	)
+}
+
+func universe(seed int64, n int) *sources.Universe {
+	w := sources.NewWorld(seed, 150, 0)
+	cfg := sources.DefaultConfig(seed, n)
+	cfg.CleanShare = 1
+	cfg.StaleMax = 0
+	return sources.Generate(w, cfg)
+}
+
+func TestSpecifyAndRun(t *testing.T) {
+	u := universe(31, 6)
+	w := NewWorkflow(target())
+	for _, s := range u.Sources {
+		w.SpecifySource(s.ID, AutoSpec(s, target()))
+	}
+	if w.Effort.WrapperSpecs != 6 || w.Effort.MappingSpecs != 6 {
+		t.Errorf("effort = %+v", w.Effort)
+	}
+	wantMinutes := 6 * (CostWrapperSpec + CostMappingSpec)
+	if w.Effort.AnalystMinutes != wantMinutes {
+		t.Errorf("minutes = %f, want %f", w.Effort.AnalystMinutes, wantMinutes)
+	}
+	out, stale, err := w.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no rows loaded")
+	}
+	// CSV/JSON and table-family HTML sources load; cards/list HTML cannot
+	// be read by the manual scraper and are reported stale.
+	for _, id := range stale {
+		s := u.Source(id)
+		if s.Kind != sources.KindHTML || s.Template.Family == "table" {
+			t.Errorf("source %s (%s/%s) unexpectedly stale", id, s.Kind, s.Template.Family)
+		}
+	}
+	if w.Effort.FullRuns != 1 {
+		t.Error("run should be charged")
+	}
+}
+
+func TestRunLoadsCorrectValues(t *testing.T) {
+	u := universe(32, 8)
+	var csvSrc *sources.Source
+	for _, s := range u.Sources {
+		if s.Kind == sources.KindCSV {
+			csvSrc = s
+			break
+		}
+	}
+	if csvSrc == nil {
+		t.Skip("no csv source")
+	}
+	w := NewWorkflow(target())
+	w.SpecifySource(csvSrc.ID, AutoSpec(csvSrc, target()))
+	out, _, err := w.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != len(csvSrc.Records) {
+		t.Fatalf("loaded %d rows, want %d", out.Len(), len(csvSrc.Records))
+	}
+	// Spot-check one value against the generator's record.
+	want := csvSrc.Records[0].Values["sku"]
+	found := false
+	for i := 0; i < out.Len(); i++ {
+		if out.Get(i, "sku").String() == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("sku %q not loaded", want)
+	}
+}
+
+func TestTemplateDriftBreaksETL(t *testing.T) {
+	u := universe(33, 10)
+	var htmlSrc *sources.Source
+	for _, s := range u.Sources {
+		if s.Kind == sources.KindHTML && s.Template.Family == "table" {
+			htmlSrc = s
+			break
+		}
+	}
+	if htmlSrc == nil {
+		t.Skip("no table-family html source in universe")
+	}
+	w := NewWorkflow(target())
+	w.SpecifySource(htmlSrc.ID, AutoSpec(htmlSrc, target()))
+	if _, stale, _ := w.Run(u); len(stale) != 0 {
+		t.Fatalf("pre-drift stale = %v", stale)
+	}
+	// Site redesign: the manual scraper breaks, silently losing the source.
+	htmlSrc.Template.Drift(rand.New(rand.NewSource(1)))
+	_, stale, err := w.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 1 || stale[0] != htmlSrc.ID {
+		t.Errorf("drifted source should be stale, got %v", stale)
+	}
+}
+
+func TestRepairSource(t *testing.T) {
+	u := universe(34, 4)
+	s := u.Sources[0]
+	w := NewWorkflow(target())
+	w.SpecifySource(s.ID, AutoSpec(s, target()))
+	before := w.Effort.AnalystMinutes
+	if err := w.RepairSource(s.ID, AutoSpec(s, target())); err != nil {
+		t.Fatal(err)
+	}
+	if w.Effort.RepairActions != 1 || w.Effort.AnalystMinutes != before+CostRepair {
+		t.Errorf("repair effort not charged: %+v", w.Effort)
+	}
+	if err := w.RepairSource("ghost", nil); err == nil {
+		t.Error("repairing unknown source should fail")
+	}
+}
+
+func TestRunUnknownSource(t *testing.T) {
+	u := universe(35, 2)
+	w := NewWorkflow(target())
+	w.SpecifySource("ghost", nil)
+	if _, _, err := w.Run(u); err == nil {
+		t.Error("unknown source should fail the run")
+	}
+}
+
+func TestHeaderRenameSilentlyDropsSource(t *testing.T) {
+	u := universe(36, 6)
+	var csvSrc *sources.Source
+	for _, s := range u.Sources {
+		if s.Kind == sources.KindCSV {
+			csvSrc = s
+			break
+		}
+	}
+	if csvSrc == nil {
+		t.Skip("no csv source")
+	}
+	w := NewWorkflow(target())
+	w.SpecifySource(csvSrc.ID, AutoSpec(csvSrc, target()))
+	// The source renames all its headers (schema velocity).
+	for prop := range csvSrc.Headers {
+		csvSrc.Headers[prop] = "renamed_" + csvSrc.Headers[prop]
+	}
+	_, stale, err := w.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range stale {
+		if id == csvSrc.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("renamed headers should leave the source stale")
+	}
+}

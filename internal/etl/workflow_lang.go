@@ -1,0 +1,161 @@
+package etl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// This file implements the small workflow language classical ETL
+// platforms provide ("some means of orchestrating the components, such as
+// a workflow language", §1 of the paper). It exists so the baseline is a
+// faithful miniature of the systems the paper critiques: workflows are
+// text artefacts written and maintained by hand.
+//
+// Grammar (one statement per line; '#' starts a comment):
+//
+//	target <col>:<kind> [<col>:<kind> ...]
+//	source <source-id> map <header>=<target-col> [, <header>=<target-col> ...]
+//
+// Example:
+//
+//	target sku:string name:string price:float
+//	source src-001 map item_no=sku, title=name, cost=price
+//	source src-002 map id=sku, product=name, amount=price
+
+// ParseWorkflow parses the workflow DSL into a Workflow. Each `source`
+// statement is charged the usual manual specification effort.
+func ParseWorkflow(src string) (*Workflow, error) {
+	var wf *Workflow
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "target":
+			if wf != nil {
+				return nil, fmt.Errorf("etl: line %d: duplicate target statement", lineNo+1)
+			}
+			schema, err := parseTargetSchema(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("etl: line %d: %w", lineNo+1, err)
+			}
+			wf = NewWorkflow(schema)
+		case "source":
+			if wf == nil {
+				return nil, fmt.Errorf("etl: line %d: source before target", lineNo+1)
+			}
+			id, cols, err := parseSourceStatement(line)
+			if err != nil {
+				return nil, fmt.Errorf("etl: line %d: %w", lineNo+1, err)
+			}
+			for _, c := range cols {
+				if wf.Target.Index(c.TargetColumn) < 0 {
+					return nil, fmt.Errorf("etl: line %d: unknown target column %q", lineNo+1, c.TargetColumn)
+				}
+			}
+			wf.SpecifySource(id, cols)
+		default:
+			return nil, fmt.Errorf("etl: line %d: unknown statement %q", lineNo+1, fields[0])
+		}
+	}
+	if wf == nil {
+		return nil, fmt.Errorf("etl: workflow has no target statement")
+	}
+	return wf, nil
+}
+
+func parseTargetSchema(specs []string) (dataset.Schema, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("target needs at least one column")
+	}
+	fields := make([]dataset.Field, 0, len(specs))
+	for _, spec := range specs {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("bad column spec %q (want name:kind)", spec)
+		}
+		kind, err := parseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, dataset.Field{Name: parts[0], Kind: kind})
+	}
+	return dataset.NewSchema(fields...)
+}
+
+func parseKind(s string) (dataset.Kind, error) {
+	switch strings.ToLower(s) {
+	case "string", "str", "text":
+		return dataset.KindString, nil
+	case "int", "integer":
+		return dataset.KindInt, nil
+	case "float", "number", "decimal":
+		return dataset.KindFloat, nil
+	case "bool", "boolean":
+		return dataset.KindBool, nil
+	case "time", "timestamp", "date":
+		return dataset.KindTime, nil
+	default:
+		return dataset.KindNull, fmt.Errorf("unknown kind %q", s)
+	}
+}
+
+func parseSourceStatement(line string) (string, []ColumnSpec, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "source"))
+	mapIdx := strings.Index(rest, " map ")
+	if mapIdx < 0 {
+		return "", nil, fmt.Errorf("source statement needs a map clause")
+	}
+	id := strings.TrimSpace(rest[:mapIdx])
+	if id == "" || strings.ContainsAny(id, " \t") {
+		return "", nil, fmt.Errorf("bad source id %q", id)
+	}
+	var cols []ColumnSpec
+	for _, pair := range strings.Split(rest[mapIdx+5:], ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		parts := strings.SplitN(pair, "=", 2)
+		if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+			return "", nil, fmt.Errorf("bad map pair %q (want header=column)", pair)
+		}
+		cols = append(cols, ColumnSpec{
+			SourceHeader: strings.TrimSpace(parts[0]),
+			TargetColumn: strings.TrimSpace(parts[1]),
+		})
+	}
+	if len(cols) == 0 {
+		return "", nil, fmt.Errorf("map clause is empty")
+	}
+	return id, cols, nil
+}
+
+// RenderWorkflow serialises a workflow back to the DSL — the artefact an
+// analyst would check into version control.
+func RenderWorkflow(wf *Workflow) string {
+	var b strings.Builder
+	b.WriteString("target")
+	for _, f := range wf.Target {
+		fmt.Fprintf(&b, " %s:%s", f.Name, f.Kind)
+	}
+	b.WriteByte('\n')
+	for _, spec := range wf.Specs {
+		fmt.Fprintf(&b, "source %s map ", spec.SourceID)
+		for i, c := range spec.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%s", c.SourceHeader, c.TargetColumn)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

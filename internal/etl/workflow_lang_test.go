@@ -1,0 +1,129 @@
+package etl
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodWorkflow = `
+# price warehouse
+target sku:string name:string price:float
+
+source src-001 map item_no=sku, title=name, cost=price
+source src-002 map id=sku, product=name   # partial mapping
+`
+
+func TestParseWorkflow(t *testing.T) {
+	wf, err := ParseWorkflow(goodWorkflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wf.Target) != 3 || wf.Target[2].Name != "price" {
+		t.Errorf("target = %v", wf.Target)
+	}
+	if len(wf.Specs) != 2 {
+		t.Fatalf("specs = %d", len(wf.Specs))
+	}
+	if wf.Specs[0].SourceID != "src-001" || len(wf.Specs[0].Columns) != 3 {
+		t.Errorf("spec 0 = %+v", wf.Specs[0])
+	}
+	if wf.Specs[1].Columns[1].SourceHeader != "product" {
+		t.Errorf("spec 1 = %+v", wf.Specs[1])
+	}
+	// Manual effort charged per source statement.
+	if wf.Effort.WrapperSpecs != 2 || wf.Effort.AnalystMinutes != 2*(CostWrapperSpec+CostMappingSpec) {
+		t.Errorf("effort = %+v", wf.Effort)
+	}
+}
+
+func TestParseWorkflowErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no target", "source s map a=b"},
+		{"empty", "\n# just comments\n"},
+		{"duplicate target", "target a:int\ntarget b:int"},
+		{"bad kind", "target a:blob"},
+		{"bad column spec", "target justname"},
+		{"unknown statement", "target a:int\nfrobnicate x"},
+		{"missing map", "target a:int\nsource s"},
+		{"empty map", "target a:int\nsource s map "},
+		{"bad pair", "target a:int\nsource s map nope"},
+		{"unknown target column", "target a:int\nsource s map h=zzz"},
+	}
+	for _, c := range cases {
+		if _, err := ParseWorkflow(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	for _, src := range []string{"target a:str b:integer c:number d:boolean e:date"} {
+		if _, err := ParseWorkflow(src); err != nil {
+			t.Errorf("aliases should parse: %v", err)
+		}
+	}
+}
+
+func TestWorkflowRoundTrip(t *testing.T) {
+	wf, err := ParseWorkflow(goodWorkflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := RenderWorkflow(wf)
+	back, err := ParseWorkflow(rendered)
+	if err != nil {
+		t.Fatalf("rendered workflow does not reparse: %v\n%s", err, rendered)
+	}
+	if len(back.Specs) != len(wf.Specs) || !back.Target.Equal(wf.Target) {
+		t.Errorf("round trip changed workflow:\n%s", rendered)
+	}
+	for i := range wf.Specs {
+		if len(back.Specs[i].Columns) != len(wf.Specs[i].Columns) {
+			t.Errorf("spec %d columns differ", i)
+		}
+	}
+}
+
+func TestParsedWorkflowRuns(t *testing.T) {
+	u := universe(37, 6)
+	// Write the DSL an analyst would write for the first CSV source.
+	var src *strings.Builder = &strings.Builder{}
+	src.WriteString("target sku:string name:string price:float\n")
+	count := 0
+	for _, s := range u.Sources {
+		if s.Kind != "csv" {
+			continue
+		}
+		src.WriteString("source " + s.ID + " map ")
+		first := true
+		for _, prop := range []string{"sku", "name", "price"} {
+			if !first {
+				src.WriteString(", ")
+			}
+			first = false
+			src.WriteString(s.Header(prop) + "=" + prop)
+		}
+		src.WriteString("\n")
+		count++
+	}
+	if count == 0 {
+		t.Skip("no csv sources")
+	}
+	wf, err := ParseWorkflow(src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stale, err := wf.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %v", stale)
+	}
+	if out.Len() == 0 {
+		t.Error("no rows loaded from DSL workflow")
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/context"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/kbc"
+	"repro/internal/ontology"
+	"repro/internal/sources"
+	"repro/internal/uncertainty"
+)
+
+// E8Row compares fusion strategies on one attribute class.
+type E8Row struct {
+	Strategy     string
+	PriceAcc     float64 // transient attribute
+	BrandAcc     float64 // stable attribute
+}
+
+// E8KBCvsWrangler reproduces §3.1: redundancy-based KBC fusion works for
+// slowly-changing facts (brand) but fails on transient data (prices) where
+// stale values are frequent; freshness- and trust-aware fusion does not.
+func E8KBCvsWrangler(seed int64, nSources int) (Table, []E8Row) {
+	w := sources.NewWorld(seed, 200, 0)
+	for i := 0; i < 60; i++ {
+		w.Evolve(0.08) // steady churn builds deep price history
+	}
+	cfg := sources.DefaultConfig(seed, nSources)
+	cfg.StaleMax = 24 // snapshots up to 24h old: redundantly stale prices
+	cfg.Errors.Stale = 0.3
+	u := sources.Generate(w, cfg)
+
+	// Build claims directly from source records (both systems see the
+	// same evidence).
+	var claims []fusion.Claim
+	for _, s := range u.Sources {
+		for _, rec := range s.Records {
+			if rec.TrueID == "" {
+				continue
+			}
+			asOf := sources.AsOf(s.SnapshotClock)
+			for _, attr := range []string{"price", "brand"} {
+				v, ok := rec.Values[attr]
+				if !ok || v == "" {
+					continue
+				}
+				claims = append(claims, fusion.Claim{
+					Entity: rec.TrueID, Attribute: attr,
+					Value: dataset.Parse(v), SourceID: s.ID, AsOf: asOf,
+				})
+			}
+		}
+	}
+	truth := func(entity, attr string) (dataset.Value, bool) {
+		p := u.World.Product(entity)
+		if p == nil {
+			return dataset.Null(), false
+		}
+		switch attr {
+		case "price":
+			price, _ := u.World.PriceAt(entity, u.World.Clock)
+			return dataset.Float(price), true
+		case "brand":
+			return dataset.String(p.Brand), true
+		}
+		return dataset.Null(), false
+	}
+	split := func(results []fusion.Result) (float64, float64) {
+		var price, brand []fusion.Result
+		for _, r := range results {
+			if r.Attribute == "price" {
+				price = append(price, r)
+			} else {
+				brand = append(brand, r)
+			}
+		}
+		pa, _ := fusion.Accuracy(price, truth)
+		ba, _ := fusion.Accuracy(brand, truth)
+		return pa, ba
+	}
+
+	var rows []E8Row
+	// KBC baseline.
+	kb := kbc.Build(claims)
+	var kbPrice, kbBrand []fusion.Result
+	for _, f := range kb.Facts() {
+		r := fusion.Result{Entity: f.Entity, Attribute: f.Attribute, Value: f.Value}
+		if f.Attribute == "price" {
+			kbPrice = append(kbPrice, r)
+		} else {
+			kbBrand = append(kbBrand, r)
+		}
+	}
+	pa, _ := fusion.Accuracy(kbPrice, truth)
+	ba, _ := fusion.Accuracy(kbBrand, truth)
+	rows = append(rows, E8Row{Strategy: "KBC redundancy (majority)", PriceAcc: pa, BrandAcc: ba})
+
+	// Trust-based truth discovery (no freshness).
+	tf := fusion.Fuse(claims, fusion.DefaultOptions(fusion.TruthFinder))
+	pa, ba = split(tf)
+	rows = append(rows, E8Row{Strategy: "truth discovery (trust)", PriceAcc: pa, BrandAcc: ba})
+
+	// Freshness-aware fusion (the wrangler's transient-attribute policy).
+	opts := fusion.DefaultOptions(fusion.FreshnessWeighted)
+	opts.Now = sources.AsOf(u.World.Clock)
+	opts.HalfLife = 4 * time.Hour
+	fr := fusion.Fuse(claims, opts)
+	pa, ba = split(fr)
+	rows = append(rows, E8Row{Strategy: "freshness-aware (wrangler)", PriceAcc: pa, BrandAcc: ba})
+
+	t := Table{
+		ID:    "E8",
+		Title: "KBC redundancy vs context-aware fusion on transient data",
+		Claim: `"KBC ... leans heavily on the assumption that correct facts occur frequently ... the need to support highly transient information (e.g., pricing) means ..." (§3.1)`,
+		Columns: []string{"strategy", "price accuracy", "brand accuracy"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Strategy, pct(r.PriceAcc), pct(r.BrandAcc))
+	}
+	t.Notes = "all strategies agree on stable brand; only freshness-aware recovers current prices"
+	return t, rows
+}
+
+// E9Row is one combination rule's calibration result.
+type E9Row struct {
+	Method   string
+	Accuracy float64
+	Brier    float64
+}
+
+// E9Uncertainty reproduces §4.2: explicit, systematic uncertainty
+// combination beats ad-hoc counting. Synthetic evidence: per hypothesis,
+// sources with known reliabilities vote; Bayesian/DS combination uses the
+// reliabilities, naive majority ignores them.
+func E9Uncertainty(seed int64, hypotheses, sourcesN int) (Table, []E9Row) {
+	rng := rand.New(rand.NewSource(seed))
+	rels := make([]float64, sourcesN)
+	for i := range rels {
+		rels[i] = 0.55 + rng.Float64()*0.4
+	}
+	type obs struct {
+		truth bool
+		ev    []uncertainty.Evidence
+	}
+	cases := make([]obs, hypotheses)
+	for i := range cases {
+		truth := rng.Float64() < 0.5
+		ev := make([]uncertainty.Evidence, sourcesN)
+		for j := 0; j < sourcesN; j++ {
+			correct := rng.Float64() < rels[j]
+			ev[j] = uncertainty.Evidence{Supports: correct == truth, Reliability: rels[j]}
+		}
+		cases[i] = obs{truth: truth, ev: ev}
+	}
+	outcomes := make([]bool, hypotheses)
+	naive := make([]float64, hypotheses)
+	bayes := make([]float64, hypotheses)
+	pool := make([]float64, hypotheses)
+	ds := make([]float64, hypotheses)
+	for i, c := range cases {
+		outcomes[i] = c.truth
+		yes := 0
+		for _, e := range c.ev {
+			if e.Supports {
+				yes++
+			}
+		}
+		naive[i] = float64(yes) / float64(len(c.ev))
+		b, _ := uncertainty.BayesCombine(0.5, c.ev)
+		bayes[i] = b
+		p, _ := uncertainty.PoolCombine(c.ev)
+		pool[i] = p
+		m, _, _ := uncertainty.DSCombine(c.ev)
+		// Pignistic-style point estimate: belief + half the ignorance.
+		ds[i] = m.T + m.U/2
+	}
+	score := func(name string, preds []float64) E9Row {
+		correct := 0
+		for i, p := range preds {
+			if (p >= 0.5) == outcomes[i] {
+				correct++
+			}
+		}
+		brier, _ := uncertainty.BrierScore(preds, outcomes)
+		return E9Row{Method: name, Accuracy: float64(correct) / float64(len(preds)), Brier: brier}
+	}
+	rows := []E9Row{
+		score("naive vote share (ablation)", naive),
+		score("linear opinion pool", pool),
+		score("Dempster-Shafer", ds),
+		score("Bayesian (reliabilities)", bayes),
+	}
+	t := Table{
+		ID:    "E9",
+		Title: "Systematic uncertainty combination vs ad-hoc counting",
+		Claim: `"uncertainty is represented explicitly and reasoned with systematically, so that well informed decisions can build on a sound understanding of the available evidence" (§4.2)`,
+		Columns: []string{"method", "decision accuracy", "Brier score (lower better)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Method, pct(r.Accuracy), f3(r.Brier))
+	}
+	t.Notes = "reliability-aware combination should dominate the naive vote"
+	return t, rows
+}
+
+// E10Row is one maintenance event's cost under both regimes.
+type E10Row struct {
+	Event          string
+	IncrementalSrc int
+	FullSrc        int
+	IncrementalMs  float64
+	FullMs         float64
+}
+
+// E10Incremental reproduces the §2.4/§4.2 incremental-processing
+// requirement: a stream of churn and feedback events is processed by
+// provenance-scoped recomputation vs full reruns.
+func E10Incremental(seed int64, nSources, events int) (Table, []E10Row) {
+	w := sources.NewWorld(seed, 200, 0)
+	for i := 0; i < 10; i++ {
+		w.Evolve(0.1)
+	}
+	cfg := sources.DefaultConfig(seed, nSources)
+	u := sources.Generate(w, cfg)
+	dc := context.NewDataContext().
+		WithMaster(masterFromWorld(u, 80), "sku").
+		WithTaxonomy(ontology.ProductTaxonomy())
+	wr := core.New(u, core.ProductConfig(), nil, dc)
+	if _, err := wr.Run(); err != nil {
+		panic("experiments: E10 run: " + err.Error())
+	}
+	var rows []E10Row
+	for e := 0; e < events; e++ {
+		wr.EvolveWorld(0.2)
+		srcID := u.Sources[e%len(u.Sources)].ID
+		inc, err := wr.RefreshSource(srcID)
+		if err != nil {
+			panic("experiments: E10 refresh: " + err.Error())
+		}
+		full, err := wr.FullRerun()
+		if err != nil {
+			panic("experiments: E10 full: " + err.Error())
+		}
+		rows = append(rows, E10Row{
+			Event:          fmt.Sprintf("churn+refresh %s", srcID),
+			IncrementalSrc: inc.SourcesReextracted,
+			FullSrc:        full.SourcesReextracted,
+			IncrementalMs:  float64(inc.Duration.Microseconds()) / 1000,
+			FullMs:         float64(full.Duration.Microseconds()) / 1000,
+		})
+	}
+	t := Table{
+		ID:    "E10",
+		Title: "Incremental (provenance-scoped) vs full recomputation",
+		Claim: `"reactions do not trigger a re-processing of all datasets ... but rather limit the processing to the strictly necessary data" (§2.4)`,
+		Columns: []string{"event", "inc sources", "full sources", "inc ms", "full ms"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Event, d(r.IncrementalSrc), d(r.FullSrc), f2(r.IncrementalMs), f2(r.FullMs))
+	}
+	t.Notes = "incremental touches 1 source per event; full touches all. Wall-clock converges at small scale because both share the integration tail (ER over the union); the touched-source count is the quantity that scales with source volume"
+	return t, rows
+}
+
+// F1Row summarises the end-to-end architecture run.
+type F1Row struct {
+	Component string
+	Detail    string
+}
+
+// F1Architecture exercises the Figure-1 wiring end to end and reports
+// what each component produced — the live reproduction of the paper's
+// only figure.
+func F1Architecture(seed int64, nSources int) (Table, []F1Row) {
+	w := sources.NewWorld(seed, 250, 0)
+	for i := 0; i < 25; i++ {
+		w.Evolve(0.15)
+	}
+	cfg := sources.DefaultConfig(seed, nSources)
+	u := sources.Generate(w, cfg)
+	dc := context.NewDataContext().
+		WithMaster(masterFromWorld(u, 100), "sku").
+		WithTaxonomy(ontology.ProductTaxonomy())
+	ahp, _ := context.NewAHP(context.Accuracy, context.Completeness, context.Timeliness, context.Relevance)
+	ahp.Set(context.Accuracy, context.Completeness, 2)
+	ahp.Set(context.Accuracy, context.Timeliness, 2)
+	ahp.Set(context.Accuracy, context.Relevance, 3)
+	uc, err := context.BuildUserContext("figure-1", ahp, 0, 0)
+	if err != nil {
+		panic("experiments: F1 AHP: " + err.Error())
+	}
+	wr := core.New(u, core.ProductConfig(), uc, dc)
+	out, err := wr.Run()
+	if err != nil {
+		panic("experiments: F1 run: " + err.Error())
+	}
+	ev := wr.EvaluateProducts()
+	rows := []F1Row{
+		{"Data Sources", fmt.Sprintf("%d sources (csv/json/html), world clock %d", len(u.Sources), u.World.Clock)},
+		{"Data Extraction", fmt.Sprintf("%d rows extracted, %d wrapper repairs", wr.LastStats.RowsExtracted, wr.LastStats.WrapperRepairs)},
+		{"Auxiliary Data", fmt.Sprintf("%v", dc.EvidenceInventory())},
+		{"User Context", fmt.Sprintf("%s (acc %.2f, compl %.2f, time %.2f, rel %.2f)", uc.Name,
+			uc.Weight(context.Accuracy), uc.Weight(context.Completeness), uc.Weight(context.Timeliness), uc.Weight(context.Relevance))},
+		{"Source Selection", fmt.Sprintf("%d of %d sources selected", wr.LastStats.SourcesSelected, wr.LastStats.SourcesProcessed)},
+		{"Data Integration", fmt.Sprintf("%d union rows -> %d entities", wr.Union().Len(), out.Len())},
+		{"Quality", fmt.Sprintf("precision %.3f, recall %.3f, price acc %.3f", ev.EntityPrecision, ev.EntityRecall, ev.PriceAccuracy)},
+		{"Provenance", fmt.Sprintf("%d working-data artefacts", wr.Prov.Len())},
+	}
+	t := Table{
+		ID:      "F1",
+		Title:   "Abstract wrangling architecture, end to end (Figure 1)",
+		Claim:   "Figure 1: Data Sources -> Extraction -> Integration -> Wrangled Data over shared Working Data",
+		Columns: []string{"component", "result"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Component, r.Detail)
+	}
+	return t, rows
+}

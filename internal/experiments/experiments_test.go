@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{ID: "EX", Title: "demo", Claim: "c", Columns: []string{"a", "bb"}, Notes: "n"}
+	tab.AddRow("1", "2")
+	s := tab.Format()
+	for _, want := range []string{"EX", "demo", "claim: c", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE1EffortShares(t *testing.T) {
+	tab, rows := E1ManualVsAutomated(101, 30)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	manual, auto := rows[0], rows[1]
+	// The paper's claim: manual wrangling eats 50-80% of time.
+	if manual.WranglingShare < 0.5 || manual.WranglingShare > 0.85 {
+		t.Errorf("manual share = %f, want within the paper's 50-80%% band", manual.WranglingShare)
+	}
+	if auto.WranglingShare > 0.1 {
+		t.Errorf("automated share = %f, want < 10%%", auto.WranglingShare)
+	}
+	if auto.WranglingMin >= manual.WranglingMin/10 {
+		t.Errorf("automation should cut effort by >10x: %f vs %f", auto.WranglingMin, manual.WranglingMin)
+	}
+	if tab.Format() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE2ContextTradeoffs(t *testing.T) {
+	_, rows := E2UserContexts(102, 15)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	routine, investigation := rows[0], rows[1]
+	if investigation.Recall <= routine.Recall {
+		t.Errorf("investigation recall %f should exceed routine %f", investigation.Recall, routine.Recall)
+	}
+	if routine.Sources >= investigation.Sources {
+		t.Errorf("routine uses fewer sources: %d vs %d", routine.Sources, investigation.Sources)
+	}
+}
+
+func TestE3ContextHelpsExtraction(t *testing.T) {
+	_, rows := E3ContextExtraction(103, 8)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	none, both := rows[0], rows[3]
+	if both.LabelledRate < none.LabelledRate {
+		t.Errorf("context should not hurt labelling: %f vs %f", both.LabelledRate, none.LabelledRate)
+	}
+	if both.LabelledRate < 0.85 {
+		t.Errorf("full-context labelling = %f, want high", both.LabelledRate)
+	}
+	if both.RepairedRate < 0.8 {
+		t.Errorf("full-context repair rate = %f", both.RepairedRate)
+	}
+	// Drift must actually have broken wrappers for repair to be meaningful.
+	if both.ValidityAfterDrift > 0.9 {
+		t.Errorf("drift too weak: validity %f", both.ValidityAfterDrift)
+	}
+}
+
+func TestE4EvidenceMonotone(t *testing.T) {
+	_, rows := E4EvidenceTypes(104, 12)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	nameOnly, all := rows[0], rows[3]
+	if all.F1 < nameOnly.F1 {
+		t.Errorf("all-evidence F1 %f below name-only %f", all.F1, nameOnly.F1)
+	}
+	if all.F1 < 0.9 {
+		t.Errorf("all-evidence F1 = %f, want >= 0.9", all.F1)
+	}
+	for _, mid := range rows[1:3] {
+		if mid.F1 < nameOnly.F1-0.02 {
+			t.Errorf("adding evidence (%s) lowered F1: %f vs %f", mid.Evidence, mid.F1, nameOnly.F1)
+		}
+	}
+}
+
+func TestE5FeedbackImproves(t *testing.T) {
+	_, rows := E5PayAsYouGo(105, 10, 3, 25)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.ERF1 < first.ERF1-0.01 {
+		t.Errorf("feedback should not degrade ER: %f -> %f", first.ERF1, last.ERF1)
+	}
+	if last.CumulativeCost <= 0 {
+		t.Error("crowd work must cost")
+	}
+	for _, r := range rows {
+		if r.TouchedSources != 0 {
+			t.Errorf("batch %d re-extracted %d sources; reactions must stay scoped", r.Batch, r.TouchedSources)
+		}
+	}
+}
+
+func TestE6BoundedFlat(t *testing.T) {
+	_, rows := E6BoundedEvaluation([]int{1000, 10000, 100000})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal {
+			t.Errorf("answers differ at n=%d", r.Rows)
+		}
+	}
+	small, large := rows[0], rows[2]
+	if large.BoundedWork > small.BoundedWork*2 {
+		t.Errorf("bounded work grew with size: %d -> %d", small.BoundedWork, large.BoundedWork)
+	}
+	if large.ScanWork < large.Rows {
+		t.Errorf("scan work %d should cover the table %d", large.ScanWork, large.Rows)
+	}
+}
+
+func TestE7ApproximationSound(t *testing.T) {
+	_, rows := E7CQApproximation(107, 60, 500)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Contained {
+			t.Errorf("query %s: approximation returned wrong answers", r.Query)
+		}
+		if r.ApproxRows > r.ExactRows {
+			t.Errorf("query %s: under-approximation cannot return more rows", r.Query)
+		}
+	}
+}
+
+func TestE8FreshnessWinsOnPrices(t *testing.T) {
+	_, rows := E8KBCvsWrangler(108, 20)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	kb, fresh := rows[0], rows[2]
+	if fresh.PriceAcc <= kb.PriceAcc {
+		t.Errorf("freshness fusion price acc %f should beat KBC %f", fresh.PriceAcc, kb.PriceAcc)
+	}
+	if kb.BrandAcc < 0.9 {
+		t.Errorf("KBC should handle stable attributes: brand acc %f", kb.BrandAcc)
+	}
+}
+
+func TestE9SystematicBeatsNaive(t *testing.T) {
+	_, rows := E9Uncertainty(109, 400, 7)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	naive := rows[0]
+	bayes := rows[3]
+	if bayes.Accuracy < naive.Accuracy {
+		t.Errorf("Bayesian accuracy %f below naive %f", bayes.Accuracy, naive.Accuracy)
+	}
+	if bayes.Brier >= naive.Brier {
+		t.Errorf("Bayesian Brier %f not better than naive %f", bayes.Brier, naive.Brier)
+	}
+}
+
+func TestE10IncrementalScoped(t *testing.T) {
+	_, rows := E10Incremental(110, 8, 2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IncrementalSrc != 1 {
+			t.Errorf("incremental touched %d sources, want 1", r.IncrementalSrc)
+		}
+		if r.FullSrc < 8 {
+			t.Errorf("full rerun touched %d sources, want all 8", r.FullSrc)
+		}
+	}
+}
+
+func TestF1ArchitectureWiring(t *testing.T) {
+	tab, rows := F1Architecture(111, 10)
+	if len(rows) < 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	s := tab.Format()
+	for _, comp := range []string{"Data Sources", "Data Extraction", "User Context", "Data Integration", "Provenance"} {
+		if !strings.Contains(s, comp) {
+			t.Errorf("architecture table missing %s", comp)
+		}
+	}
+}
+
+func TestE5bSharedDominates(t *testing.T) {
+	_, rows := E5bSharedVsSiloed(112, 10)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	baseline, pairsOnly, valuesOnly, shared := rows[0], rows[1], rows[2], rows[3]
+	if shared.ERF1 < pairsOnly.ERF1-1e-9 {
+		t.Errorf("shared ER F1 %f below pairs-only %f", shared.ERF1, pairsOnly.ERF1)
+	}
+	if shared.PriceAccuracy < valuesOnly.PriceAccuracy-1e-9 {
+		t.Errorf("shared price acc %f below values-only %f", shared.PriceAccuracy, valuesOnly.PriceAccuracy)
+	}
+	if shared.PriceAccuracy < baseline.PriceAccuracy-1e-9 {
+		t.Errorf("shared degraded price accuracy vs baseline: %f vs %f", shared.PriceAccuracy, baseline.PriceAccuracy)
+	}
+	if shared.Items <= pairsOnly.Items || shared.Items <= valuesOnly.Items {
+		t.Error("shared regime should consume the full stream")
+	}
+}

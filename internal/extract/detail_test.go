@@ -1,0 +1,109 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/html"
+	"repro/internal/ontology"
+	"repro/internal/sources"
+)
+
+// detailPages renders every record of an HTML source as its own page.
+func detailPages(s *sources.Source) []*html.Node {
+	pages := make([]*html.Node, 0, len(s.Records))
+	for i := range s.Records {
+		pages = append(pages, html.Parse(s.Template.RenderDetailPage(s, i)))
+	}
+	return pages
+}
+
+func htmlSource(t *testing.T, seed int64) *sources.Source {
+	t.Helper()
+	u := universe(t, seed, 3)
+	return u.Sources[0]
+}
+
+func TestInduceDetailNeedsTwoPages(t *testing.T) {
+	s := htmlSource(t, 61)
+	pages := detailPages(s)
+	if _, err := InduceDetail(s.ID, pages[:1], nil); err == nil {
+		t.Error("one page should not suffice")
+	}
+}
+
+func TestInduceDetailExtractsFields(t *testing.T) {
+	s := htmlSource(t, 62)
+	pages := detailPages(s)
+	w, err := InduceDetail(s.ID, pages[:5], ontology.ProductTaxonomy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RecordSelector != "body" {
+		t.Errorf("selector = %q", w.RecordSelector)
+	}
+	table, err := ExtractSite(w, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != len(s.Records) {
+		t.Fatalf("extracted %d records from %d pages", table.Len(), len(s.Records))
+	}
+	// The canonical fields must carry the right values.
+	for _, prop := range []string{"sku", "name", "price"} {
+		c := table.Schema().Index(prop)
+		if c < 0 {
+			t.Errorf("column %s missing (schema %v)", prop, table.Schema().Names())
+			continue
+		}
+		hits := 0
+		for i := 0; i < table.Len(); i++ {
+			if table.Row(i)[c].String() == s.Records[i].Values[prop] {
+				hits++
+			}
+		}
+		if hits < table.Len()*9/10 {
+			t.Errorf("column %s correct on %d/%d pages", prop, hits, table.Len())
+		}
+	}
+}
+
+func TestInduceDetailDropsBoilerplate(t *testing.T) {
+	s := htmlSource(t, 63)
+	pages := detailPages(s)
+	w, err := InduceDetail(s.ID, pages[:6], ontology.ProductTaxonomy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := ExtractSite(w, pages[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range table.Schema().Names() {
+		for i := 0; i < table.Len(); i++ {
+			v := table.Get(i, name).String()
+			if v == "home" || v == "All rights reserved. Contact us for wholesale pricing." {
+				t.Errorf("boilerplate leaked into column %s: %q", name, v)
+			}
+		}
+	}
+}
+
+func TestRunDetailOnEmptyPage(t *testing.T) {
+	s := htmlSource(t, 64)
+	pages := detailPages(s)
+	w, err := InduceDetail(s.ID, pages[:4], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.RunDetail(html.Parse("")); err == nil {
+		t.Error("empty page should fail")
+	}
+}
+
+func TestExtractSiteEmpty(t *testing.T) {
+	w := &Wrapper{RecordSelector: "body", Fields: []FieldRule{{Selector: "dd", Index: 0}}}
+	table, err := ExtractSite(w, nil)
+	if err != nil || table.Len() != 0 {
+		t.Error("no pages should yield empty table")
+	}
+}

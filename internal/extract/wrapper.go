@@ -1,0 +1,537 @@
+// Package extract implements the Data Extraction component of the
+// abstract wrangling architecture (Figure 1 of Furche et al.): fully
+// automated wrapper induction over deep-web listing pages in the style of
+// DIADEM/DEXTER [19, 30], wrapper execution producing syntactically
+// consistent tables, and joint wrapper+data repair in the style of WADaR
+// [29] — extraction "informed by existing integrated data" (§2.2, §4.1).
+//
+// Induction is unsupervised: it finds the repeated record structure on a
+// page (the element whose children are many structurally similar subtrees),
+// derives one selector per field position, and labels fields with canonical
+// properties using the data context (ontology property vocabulary plus
+// value-shape analysis).
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/html"
+	"repro/internal/ontology"
+)
+
+// FieldRule extracts one attribute from a record subtree.
+type FieldRule struct {
+	Selector string // selector relative to the record node
+	Property string // canonical property name ("" if unlabelled)
+	Header   string // source-side label if one was visible
+	Index    int    // fallback: i-th leaf text position within the record
+}
+
+// Wrapper is an induced extraction program for one source: a record
+// selector plus per-field rules. Wrappers are working-data artefacts; the
+// orchestrator stores them with provenance and quality annotations.
+type Wrapper struct {
+	SourceID       string
+	RecordSelector string
+	Fields         []FieldRule
+	Confidence     float64 // induction confidence in [0,1]
+}
+
+// Induce learns a wrapper from a parsed listing page. It returns an error
+// when no repeated record structure can be found. The optional taxonomy
+// labels fields with canonical properties; pass nil to skip labelling
+// (ablation: extraction without data context).
+func Induce(sourceID string, page *html.Node, tax *ontology.Taxonomy) (*Wrapper, error) {
+	recordNodes, selector := findRecordSet(page)
+	if len(recordNodes) < 2 {
+		return nil, fmt.Errorf("extract: no repeated record structure on page of %s", sourceID)
+	}
+	fields := induceFields(recordNodes, tax)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("extract: records of %s have no extractable fields", sourceID)
+	}
+	conf := structuralConfidence(recordNodes)
+	return &Wrapper{
+		SourceID:       sourceID,
+		RecordSelector: selector,
+		Fields:         fields,
+		Confidence:     conf,
+	}, nil
+}
+
+// findRecordSet locates the repeated record structure: the parent element
+// whose element children contain the largest group of structurally similar
+// siblings (same tag, same class set), returning the group and a selector
+// that finds them. Header rows (th cells) are excluded.
+func findRecordSet(page *html.Node) ([]*html.Node, string) {
+	type candidate struct {
+		nodes    []*html.Node
+		selector string
+		score    float64
+	}
+	var best candidate
+	page.Walk(func(n *html.Node) bool {
+		if n.Type != html.ElementNode {
+			return true
+		}
+		groups := map[string][]*html.Node{}
+		for _, c := range n.ElementChildren() {
+			if isHeaderish(c) {
+				continue
+			}
+			key := c.Tag + "|" + canonicalClass(c)
+			groups[key] = append(groups[key], c)
+		}
+		for key, nodes := range groups {
+			if len(nodes) < 2 {
+				continue
+			}
+			// Records must carry text.
+			textful := 0
+			for _, nd := range nodes {
+				if nd.Text() != "" {
+					textful++
+				}
+			}
+			if textful < 2 {
+				continue
+			}
+			// Score: group size × mean subtree size (records are substantial).
+			meanSize := 0.0
+			for _, nd := range nodes {
+				meanSize += float64(subtreeSize(nd))
+			}
+			meanSize /= float64(len(nodes))
+			score := float64(len(nodes)) * meanSize
+			if score > best.score {
+				parts := strings.SplitN(key, "|", 2)
+				sel := parts[0]
+				if parts[1] != "" {
+					sel += "." + strings.ReplaceAll(parts[1], " ", ".")
+				}
+				best = candidate{nodes: nodes, selector: sel, score: score}
+			}
+		}
+		return true
+	})
+	return best.nodes, best.selector
+}
+
+func isHeaderish(n *html.Node) bool {
+	if n.Tag == "thead" || n.Tag == "th" {
+		return true
+	}
+	for _, c := range n.ElementChildren() {
+		if c.Tag == "th" {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalClass returns the sorted class list of a node, joined by space.
+func canonicalClass(n *html.Node) string {
+	fields := strings.Fields(n.Attr("class"))
+	sort.Strings(fields)
+	return strings.Join(fields, " ")
+}
+
+func subtreeSize(n *html.Node) int {
+	size := 0
+	n.Walk(func(*html.Node) bool { size++; return true })
+	return size
+}
+
+// leafField is one text-bearing position inside a record subtree.
+type leafField struct {
+	path   string // tag/class path relative to record root
+	header string // embedded label if the page shows one ("Price: …")
+	values []string
+}
+
+// induceFields aligns the leaf text positions across record instances and
+// produces one rule per stable position.
+func induceFields(records []*html.Node, tax *ontology.Taxonomy) []FieldRule {
+	// Collect per-record leaves keyed by relative structural path.
+	byPath := map[string]*leafField{}
+	var pathOrder []string
+	for _, rec := range records {
+		leaves := collectLeaves(rec)
+		for _, lf := range leaves {
+			f, ok := byPath[lf.path]
+			if !ok {
+				f = &leafField{path: lf.path, header: lf.header}
+				byPath[lf.path] = f
+				pathOrder = append(pathOrder, lf.path)
+			}
+			if f.header == "" && lf.header != "" {
+				f.header = lf.header
+			}
+			f.values = append(f.values, lf.values...)
+		}
+	}
+	// Constant-valued positions across many records are template
+	// boilerplate (e.g. <dt> labels); attach the constant as the header of
+	// the following position and drop the boilerplate field itself.
+	skip := map[string]bool{}
+	if len(records) > 3 {
+		for i, p := range pathOrder {
+			f := byPath[p]
+			if c, ok := constantValue(f.values); ok && len(f.values) >= len(records) {
+				skip[p] = true
+				if i+1 < len(pathOrder) {
+					next := byPath[pathOrder[i+1]]
+					if next.header == "" {
+						next.header = strings.TrimSuffix(strings.TrimSpace(c), ":")
+					}
+				}
+			}
+		}
+	}
+	// Keep positions present in at least half the records; drop positions
+	// that match multiple nodes per record (ambiguous selectors, e.g. the
+	// shared <dt> path in definition lists).
+	threshold := len(records) / 2
+	maxCount := len(records)*3/2 + 1
+	var fields []FieldRule
+	for idx, p := range pathOrder {
+		f := byPath[p]
+		if skip[p] || len(f.values) < threshold || len(f.values) > maxCount {
+			continue
+		}
+		rule := FieldRule{Selector: pathToSelector(p), Header: f.header, Index: idx}
+		rule.Property = labelField(f, tax)
+		fields = append(fields, rule)
+	}
+	return fields
+}
+
+// constantValue reports whether every non-empty value is identical.
+func constantValue(values []string) (string, bool) {
+	c := ""
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		if c == "" {
+			c = v
+		} else if v != c {
+			return "", false
+		}
+	}
+	return c, c != ""
+}
+
+// collectLeaves walks a record subtree and returns its text positions. For
+// "label: value" markup (e.g. <b>Price:</b> 4.99 or <dt>price</dt><dd>…)
+// the label is captured as header rather than value.
+func collectLeaves(rec *html.Node) []leafField {
+	var out []leafField
+	var walk func(n *html.Node, path string)
+	walk = func(n *html.Node, path string) {
+		if n.Type == html.ElementNode {
+			step := n.Tag
+			if cc := canonicalClass(n); cc != "" {
+				step += "." + strings.ReplaceAll(cc, " ", ".")
+			}
+			if path != "" {
+				path = path + ">" + step
+			} else {
+				path = step
+			}
+		}
+		// A node is a leaf position if it has direct text content.
+		direct := directText(n)
+		if n.Type == html.ElementNode && direct != "" {
+			header, value := splitLabelled(n, direct)
+			if header == "" {
+				header = siblingLabel(n)
+			}
+			out = append(out, leafField{path: path, header: header, values: []string{value}})
+		}
+		for _, c := range n.Children {
+			if c.Type == html.ElementNode {
+				walk(c, path)
+			}
+		}
+	}
+	for _, c := range rec.ElementChildren() {
+		walk(c, "")
+	}
+	return out
+}
+
+// directText returns the concatenated text of n's direct text children and
+// of inline label children (b/strong), normalised.
+func directText(n *html.Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Type == html.TextNode {
+			b.WriteString(c.Data)
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// splitLabelled separates "Label: value" patterns. It checks an inline
+// <b>/<strong>/<dt> label child first, then a "label:" textual prefix.
+func splitLabelled(n *html.Node, direct string) (header, value string) {
+	for _, c := range n.ElementChildren() {
+		if c.Tag == "b" || c.Tag == "strong" || c.Tag == "label" {
+			h := strings.TrimSuffix(strings.TrimSpace(c.Text()), ":")
+			return h, direct
+		}
+	}
+	if i := strings.Index(direct, ":"); i > 0 && i < 30 && !strings.HasPrefix(direct[i+1:], "//") {
+		head := direct[:i]
+		if !strings.ContainsAny(head, "0123456789") {
+			return strings.TrimSpace(head), strings.TrimSpace(direct[i+1:])
+		}
+	}
+	return "", direct
+}
+
+// siblingLabel returns the text of an immediately preceding label-ish
+// sibling (dt, th, label) — the "definition list" labelling convention.
+func siblingLabel(n *html.Node) string {
+	if n.Parent == nil {
+		return ""
+	}
+	var prev *html.Node
+	for _, sib := range n.Parent.ElementChildren() {
+		if sib == n {
+			break
+		}
+		prev = sib
+	}
+	if prev != nil && (prev.Tag == "dt" || prev.Tag == "th" || prev.Tag == "label") {
+		return strings.TrimSuffix(strings.TrimSpace(prev.Text()), ":")
+	}
+	return ""
+}
+
+// pathToSelector converts a relative structural path into a selector.
+func pathToSelector(path string) string {
+	return strings.ReplaceAll(path, ">", " > ")
+}
+
+// labelField assigns a canonical property to a field using, in order:
+// the visible header via the ontology property vocabulary, then value-shape
+// heuristics (prices look like money, ratings like small decimals, SKUs
+// like code patterns).
+func labelField(f *leafField, tax *ontology.Taxonomy) string {
+	if tax != nil && f.header != "" {
+		if canon, conf := tax.CanonicalProperty(f.header); canon != "" && conf >= 0.75 {
+			return canon
+		}
+	}
+	return shapeLabel(f.values)
+}
+
+// shapeLabel inspects value shapes and guesses a property. It is the
+// fallback when no header evidence exists.
+func shapeLabel(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	n := len(values)
+	codes, money, small, urls, dates, texts := 0, 0, 0, 0, 0, 0
+	for _, v := range values {
+		v = strings.TrimSpace(v)
+		switch {
+		case v == "":
+		case looksLikeCode(v):
+			codes++
+		case strings.HasPrefix(v, "http"):
+			urls++
+		case looksLikeDate(v):
+			dates++
+		case looksLikeMoney(v):
+			money++
+			if looksLikeSmallDecimal(v) {
+				small++
+			}
+		default:
+			texts++
+		}
+	}
+	switch {
+	case codes*2 > n:
+		return "sku"
+	case urls*2 > n:
+		return "url"
+	case dates*2 > n:
+		return "updated"
+	case money*2 > n:
+		// All-money columns whose values fit the 1-5 one-decimal shape are
+		// ratings, not prices.
+		if small == money {
+			return "rating"
+		}
+		return "price"
+	case texts*2 > n:
+		return "name"
+	}
+	return ""
+}
+
+func looksLikeCode(v string) bool {
+	if len(v) < 5 || strings.Contains(v, " ") {
+		return false
+	}
+	hasDigit, hasUpper, hasDash := false, false, false
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			hasDigit = true
+		case r >= 'A' && r <= 'Z':
+			hasUpper = true
+		case r == '-' || r == '_':
+			hasDash = true
+		case r >= 'a' && r <= 'z', r == '.':
+		default:
+			return false
+		}
+	}
+	return hasDigit && (hasUpper || hasDash)
+}
+
+func looksLikeMoney(v string) bool {
+	v = strings.TrimLeft(v, "$€£ ")
+	if v == "" {
+		return false
+	}
+	dot := false
+	for _, r := range v {
+		if r == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if r == ',' {
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func looksLikeSmallDecimal(v string) bool {
+	if !looksLikeMoney(v) {
+		return false
+	}
+	var f float64
+	if _, err := fmt.Sscanf(strings.TrimLeft(v, "$€£ "), "%f", &f); err != nil {
+		return false
+	}
+	return f >= 0 && f <= 5 && strings.Contains(v, ".")
+}
+
+func looksLikeDate(v string) bool {
+	return len(v) >= 10 && v[4] == '-' && v[7] == '-'
+}
+
+// structuralConfidence measures how uniform the record subtrees are: the
+// mean pairwise (sampled) similarity of their tag-path sets.
+func structuralConfidence(records []*html.Node) float64 {
+	if len(records) < 2 {
+		return 0
+	}
+	sigs := make([]map[string]bool, len(records))
+	for i, r := range records {
+		sig := map[string]bool{}
+		for _, lf := range collectLeaves(r) {
+			sig[lf.path] = true
+		}
+		sigs[i] = sig
+	}
+	pairs, sum := 0, 0.0
+	step := len(records)/20 + 1
+	for i := 0; i < len(records); i += step {
+		j := (i + step) % len(records)
+		if j == i {
+			continue
+		}
+		sum += setJaccard(sigs[i], sigs[j])
+		pairs++
+	}
+	if pairs == 0 {
+		return 1
+	}
+	return sum / float64(pairs)
+}
+
+func setJaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Run executes the wrapper against a page and returns the extracted table.
+// Columns are named by canonical property when labelled, otherwise by the
+// visible header, otherwise "field_i". Values are type-inferred.
+func (w *Wrapper) Run(page *html.Node) (*dataset.Table, error) {
+	recSel, err := html.Compile(w.RecordSelector)
+	if err != nil {
+		return nil, fmt.Errorf("extract: bad record selector %q: %w", w.RecordSelector, err)
+	}
+	records := recSel.Find(page)
+	if len(records) == 0 {
+		return nil, fmt.Errorf("extract: wrapper for %s matched no records", w.SourceID)
+	}
+	schema := make(dataset.Schema, 0, len(w.Fields))
+	used := map[string]bool{}
+	fieldSels := make([]*html.Selector, len(w.Fields))
+	for i, f := range w.Fields {
+		name := f.Property
+		if name == "" {
+			name = strings.ToLower(strings.TrimSpace(f.Header))
+		}
+		if name == "" {
+			name = fmt.Sprintf("field_%d", f.Index)
+		}
+		for used[name] {
+			name += "_x"
+		}
+		used[name] = true
+		schema = append(schema, dataset.Field{Name: name, Kind: dataset.KindString})
+		if f.Selector != "" {
+			fieldSels[i], _ = html.Compile(f.Selector)
+		}
+	}
+	out := dataset.NewTable(schema)
+	for _, rec := range records {
+		row := make(dataset.Record, len(w.Fields))
+		for i := range w.Fields {
+			row[i] = dataset.Null()
+			if fieldSels[i] == nil {
+				continue
+			}
+			if node := fieldSels[i].FindFirst(rec); node != nil {
+				_, value := splitLabelled(node, directText(node))
+				row[i] = dataset.Parse(value)
+			}
+		}
+		out.Append(row)
+	}
+	return out, nil
+}

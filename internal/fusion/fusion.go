@@ -1,0 +1,351 @@
+// Package fusion resolves conflicting values from multiple sources into a
+// single wrangled record per entity. It implements the fusion spectrum the
+// paper positions against KBC (§3.1): frequency-based voting (the
+// "instance-based redundancy" assumption KBC leans on), source-trust
+// weighted voting with iterative trust estimation (truth discovery in the
+// style of Yin et al. [36]), and freshness-aware fusion for "highly
+// transient information (e.g., pricing)" where redundancy actively
+// misleads — stale values are frequent but wrong.
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// Claim is one source's assertion of an attribute value for an entity.
+type Claim struct {
+	Entity    string // entity/cluster id
+	Attribute string
+	Value     dataset.Value
+	SourceID  string
+	AsOf      time.Time // when the source observed the value (freshness)
+}
+
+// Policy selects the fusion strategy.
+type Policy int
+
+// Fusion policies.
+const (
+	// MajorityVote picks the most frequent value (KBC-style redundancy).
+	MajorityVote Policy = iota
+	// WeightedVote weights each vote by the source's trust score.
+	WeightedVote
+	// TruthFinder iterates between value confidence and source trust.
+	TruthFinder
+	// FreshnessWeighted decays votes by age before weighting by trust —
+	// the right policy for transient attributes such as prices.
+	FreshnessWeighted
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case MajorityVote:
+		return "majority"
+	case WeightedVote:
+		return "weighted"
+	case TruthFinder:
+		return "truthfinder"
+	case FreshnessWeighted:
+		return "freshness"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a fusion run.
+type Options struct {
+	Policy Policy
+	// Trust maps source id -> prior trust in (0,1]. Missing sources get
+	// DefaultTrust. Updated in place by TruthFinder iterations.
+	Trust        map[string]float64
+	// Pinned marks sources whose trust is externally established (e.g.
+	// derived from user feedback) and must not be overwritten by
+	// TruthFinder's iterative estimation.
+	Pinned       map[string]bool
+	DefaultTrust float64
+	// Now anchors freshness decay; claims older than Now by HalfLife lose
+	// half their vote.
+	Now      time.Time
+	HalfLife time.Duration
+	// Iterations bounds TruthFinder fixpoint iterations (default 10).
+	Iterations int
+	// NumericTolerance groups numeric claims whose relative difference is
+	// below this into one value bucket (default 0.01).
+	NumericTolerance float64
+}
+
+// DefaultOptions returns options for the given policy with moderate
+// settings.
+func DefaultOptions(p Policy) Options {
+	return Options{
+		Policy:           p,
+		Trust:            map[string]float64{},
+		DefaultTrust:     0.8,
+		HalfLife:         24 * time.Hour,
+		Iterations:       10,
+		NumericTolerance: 0.01,
+	}
+}
+
+// Result is the fused value for one (entity, attribute) with its
+// confidence and the support that won.
+type Result struct {
+	Entity     string
+	Attribute  string
+	Value      dataset.Value
+	Confidence float64 // winning bucket's share of total vote mass
+	Support    int     // number of claims in the winning bucket
+	Conflict   bool    // more than one distinct value bucket was claimed
+}
+
+// Fuse resolves all claims into one result per (entity, attribute).
+// Results are sorted by entity then attribute for determinism.
+func Fuse(claims []Claim, opts Options) []Result {
+	if opts.DefaultTrust <= 0 {
+		opts.DefaultTrust = 0.8
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 10
+	}
+	if opts.NumericTolerance <= 0 {
+		opts.NumericTolerance = 0.01
+	}
+	if opts.Trust == nil {
+		opts.Trust = map[string]float64{}
+	}
+	groups := map[string][]Claim{}
+	var keys []string
+	for _, c := range claims {
+		k := c.Entity + "\x1f" + c.Attribute
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.Strings(keys)
+
+	if opts.Policy == TruthFinder {
+		estimateTrust(groups, &opts)
+	}
+	out := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fuseGroup(groups[k], opts))
+	}
+	return out
+}
+
+// bucket groups equivalent claimed values.
+type bucket struct {
+	rep    dataset.Value
+	norm   string
+	weight float64
+	count  int
+}
+
+func fuseGroup(claims []Claim, opts Options) Result {
+	res := Result{Entity: claims[0].Entity, Attribute: claims[0].Attribute}
+	claims = reconcileUnits(claims)
+	buckets := bucketize(claims, opts, func(c Claim) float64 { return voteWeight(c, opts) })
+	if len(buckets) == 0 {
+		res.Value = dataset.Null()
+		return res
+	}
+	total := 0.0
+	for _, b := range buckets {
+		total += b.weight
+	}
+	best := buckets[0]
+	res.Value = best.rep
+	res.Support = best.count
+	res.Conflict = len(buckets) > 1
+	if total > 0 {
+		res.Confidence = best.weight / total
+	}
+	return res
+}
+
+// reconcileUnits normalises numeric claims that sit ~100× above the
+// group's median — sources reporting cents instead of dollars. The unit
+// error is syntactic, not a genuine conflict, so it is repaired before
+// voting rather than outvoted.
+func reconcileUnits(claims []Claim) []Claim {
+	var nums []float64
+	for _, c := range claims {
+		if c.Value.IsNumeric() {
+			nums = append(nums, c.Value.FloatVal())
+		}
+	}
+	if len(nums) < 2 {
+		return claims
+	}
+	sort.Float64s(nums)
+	median := nums[len(nums)/2]
+	if median <= 0 {
+		return claims
+	}
+	out := make([]Claim, len(claims))
+	copy(out, claims)
+	for i, c := range out {
+		if !c.Value.IsNumeric() {
+			continue
+		}
+		ratio := c.Value.FloatVal() / median
+		if ratio > 95 && ratio < 105 {
+			out[i].Value = dataset.Float(c.Value.FloatVal() / 100)
+		}
+	}
+	return out
+}
+
+// bucketize groups claims into equivalent-value buckets, weighting each
+// claim by weightFn, and returns buckets sorted by descending weight (ties
+// by normalised value for determinism). Null values are ignored.
+func bucketize(claims []Claim, opts Options, weightFn func(Claim) float64) []bucket {
+	var buckets []bucket
+	for _, c := range claims {
+		if c.Value.IsNull() {
+			continue
+		}
+		w := weightFn(c)
+		placed := false
+		for i := range buckets {
+			if sameValue(buckets[i].rep, c.Value, opts.NumericTolerance) {
+				buckets[i].weight += w
+				buckets[i].count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets = append(buckets, bucket{rep: c.Value, norm: text.Normalize(c.Value.String()), weight: w, count: 1})
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].weight != buckets[j].weight {
+			return buckets[i].weight > buckets[j].weight
+		}
+		return buckets[i].norm < buckets[j].norm
+	})
+	return buckets
+}
+
+func sameValue(a, b dataset.Value, tol float64) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		x, y := a.FloatVal(), b.FloatVal()
+		if x == y {
+			return true
+		}
+		den := math.Max(math.Abs(x), math.Abs(y))
+		return den > 0 && math.Abs(x-y)/den <= tol
+	}
+	return text.Normalize(a.String()) == text.Normalize(b.String())
+}
+
+func voteWeight(c Claim, opts Options) float64 {
+	switch opts.Policy {
+	case MajorityVote:
+		return 1
+	case WeightedVote, TruthFinder:
+		return trustOf(c.SourceID, opts)
+	case FreshnessWeighted:
+		w := trustOf(c.SourceID, opts)
+		if !opts.Now.IsZero() && !c.AsOf.IsZero() && opts.HalfLife > 0 {
+			age := opts.Now.Sub(c.AsOf)
+			if age > 0 {
+				w *= math.Pow(0.5, float64(age)/float64(opts.HalfLife))
+			}
+		}
+		return w
+	default:
+		return 1
+	}
+}
+
+func trustOf(sourceID string, opts Options) float64 {
+	if t, ok := opts.Trust[sourceID]; ok && t > 0 {
+		return t
+	}
+	return opts.DefaultTrust
+}
+
+// estimateTrust runs the TruthFinder-style fixpoint: value confidence is
+// the trust-weighted vote share; source trust is the mean confidence of
+// the values the source claims. Trust is written back into opts.Trust.
+func estimateTrust(groups map[string][]Claim, opts *Options) {
+	// Initialise all sources.
+	for _, claims := range groups {
+		for _, c := range claims {
+			if _, ok := opts.Trust[c.SourceID]; !ok {
+				opts.Trust[c.SourceID] = opts.DefaultTrust
+			}
+		}
+	}
+	for iter := 0; iter < opts.Iterations; iter++ {
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, claims := range groups {
+			buckets := bucketize(claims, *opts, func(c Claim) float64 { return trustOf(c.SourceID, *opts) })
+			total := 0.0
+			for _, b := range buckets {
+				total += b.weight
+			}
+			if total == 0 {
+				continue
+			}
+			for _, c := range claims {
+				if c.Value.IsNull() {
+					continue
+				}
+				for _, b := range buckets {
+					if sameValue(b.rep, c.Value, opts.NumericTolerance) {
+						sums[c.SourceID] += b.weight / total
+						counts[c.SourceID]++
+						break
+					}
+				}
+			}
+		}
+		delta := 0.0
+		for src, sum := range sums {
+			if counts[src] == 0 || opts.Pinned[src] {
+				continue
+			}
+			// Damped update keeps the fixpoint stable.
+			next := 0.5*opts.Trust[src] + 0.5*(sum/float64(counts[src]))
+			delta += math.Abs(next - opts.Trust[src])
+			opts.Trust[src] = next
+		}
+		if delta < 1e-6 {
+			break
+		}
+	}
+}
+
+// Accuracy scores fused results against a truth lookup: the fraction of
+// results whose value agrees with truth(entity, attribute). Entities or
+// attributes with no truth entry are skipped; ok reports whether anything
+// was scored.
+func Accuracy(results []Result, truth func(entity, attribute string) (dataset.Value, bool)) (float64, bool) {
+	agree, total := 0, 0
+	for _, r := range results {
+		want, has := truth(r.Entity, r.Attribute)
+		if !has {
+			continue
+		}
+		total++
+		if sameValue(r.Value, want, 0.01) {
+			agree++
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(agree) / float64(total), true
+}

@@ -1,0 +1,208 @@
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func claim(entity, attr, val, src string) Claim {
+	return Claim{Entity: entity, Attribute: attr, Value: dataset.Parse(val), SourceID: src}
+}
+
+func TestMajorityVote(t *testing.T) {
+	claims := []Claim{
+		claim("e1", "name", "USB Cable", "s1"),
+		claim("e1", "name", "USB Cable", "s2"),
+		claim("e1", "name", "USB Kable", "s3"),
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Value.String() != "USB Cable" || res[0].Support != 2 || !res[0].Conflict {
+		t.Errorf("majority result = %+v", res[0])
+	}
+	if res[0].Confidence < 0.6 || res[0].Confidence > 0.7 {
+		t.Errorf("confidence = %f, want 2/3", res[0].Confidence)
+	}
+}
+
+func TestWeightedVoteOverridesMajority(t *testing.T) {
+	claims := []Claim{
+		claim("e1", "price", "4.99", "trusted"),
+		claim("e1", "price", "9.99", "junk1"),
+		claim("e1", "price", "9.99", "junk2"),
+	}
+	opts := DefaultOptions(WeightedVote)
+	opts.Trust = map[string]float64{"trusted": 0.95, "junk1": 0.2, "junk2": 0.2}
+	res := Fuse(claims, opts)
+	if res[0].Value.FloatVal() != 4.99 {
+		t.Errorf("trusted source should win: %+v", res[0])
+	}
+	// Majority vote gets it wrong — that's the point.
+	resM := Fuse(claims, DefaultOptions(MajorityVote))
+	if resM[0].Value.FloatVal() != 9.99 {
+		t.Errorf("majority should pick the frequent wrong value: %+v", resM[0])
+	}
+}
+
+func TestNumericBucketTolerance(t *testing.T) {
+	claims := []Claim{
+		claim("e1", "price", "10.00", "s1"),
+		claim("e1", "price", "10.05", "s2"), // within 1%
+		claim("e1", "price", "20.00", "s3"),
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if res[0].Support != 2 {
+		t.Errorf("near-equal numerics should bucket together: %+v", res[0])
+	}
+}
+
+func TestTextNormalisedBuckets(t *testing.T) {
+	claims := []Claim{
+		claim("e1", "brand", "Anker", "s1"),
+		claim("e1", "brand", "ANKER ", "s2"),
+		claim("e1", "brand", "Belkin", "s3"),
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if res[0].Value.String() != "Anker" && res[0].Value.String() != "ANKER " {
+		t.Errorf("case/space variants should merge: %+v", res[0])
+	}
+	if res[0].Support != 2 {
+		t.Errorf("support = %d, want 2", res[0].Support)
+	}
+}
+
+func TestNullClaimsIgnored(t *testing.T) {
+	claims := []Claim{
+		{Entity: "e1", Attribute: "name", Value: dataset.Null(), SourceID: "s1"},
+		claim("e1", "name", "Lamp", "s2"),
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if res[0].Value.String() != "Lamp" || res[0].Conflict {
+		t.Errorf("nulls must not create conflicts: %+v", res[0])
+	}
+}
+
+func TestAllNullGroup(t *testing.T) {
+	claims := []Claim{
+		{Entity: "e1", Attribute: "name", Value: dataset.Null(), SourceID: "s1"},
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if len(res) != 1 || !res[0].Value.IsNull() {
+		t.Errorf("all-null group should fuse to null: %+v", res)
+	}
+}
+
+func TestTruthFinderLearnsSourceTrust(t *testing.T) {
+	// 3 honest sources agree on most entities; 1 liar contradicts.
+	rng := rand.New(rand.NewSource(42))
+	var claims []Claim
+	for e := 0; e < 40; e++ {
+		entity := fmt.Sprintf("e%02d", e)
+		truth := fmt.Sprintf("value-%02d", e)
+		for _, s := range []string{"honest1", "honest2", "honest3"} {
+			v := truth
+			if rng.Float64() < 0.1 {
+				v = "noise-" + s
+			}
+			claims = append(claims, claim(entity, "name", v, s))
+		}
+		claims = append(claims, claim(entity, "name", "lie-"+entity, "liar"))
+	}
+	opts := DefaultOptions(TruthFinder)
+	res := Fuse(claims, opts)
+	if opts.Trust["liar"] >= opts.Trust["honest1"] {
+		t.Errorf("liar trust %f should fall below honest %f", opts.Trust["liar"], opts.Trust["honest1"])
+	}
+	correct := 0
+	for _, r := range res {
+		if r.Value.String() == "value-"+r.Entity[1:] {
+			correct++
+		}
+	}
+	if correct < 38 {
+		t.Errorf("truthfinder fused %d/40 correctly", correct)
+	}
+}
+
+func TestFreshnessBeatsStaleMajority(t *testing.T) {
+	now := time.Date(2016, 3, 15, 12, 0, 0, 0, time.UTC)
+	fresh := Claim{Entity: "e1", Attribute: "price", Value: dataset.Float(12.99), SourceID: "s1", AsOf: now.Add(-1 * time.Hour)}
+	stale1 := Claim{Entity: "e1", Attribute: "price", Value: dataset.Float(9.99), SourceID: "s2", AsOf: now.Add(-96 * time.Hour)}
+	stale2 := Claim{Entity: "e1", Attribute: "price", Value: dataset.Float(9.99), SourceID: "s3", AsOf: now.Add(-120 * time.Hour)}
+
+	optsF := DefaultOptions(FreshnessWeighted)
+	optsF.Now = now
+	res := Fuse([]Claim{fresh, stale1, stale2}, optsF)
+	if res[0].Value.FloatVal() != 12.99 {
+		t.Errorf("freshness policy should pick the fresh price: %+v", res[0])
+	}
+	resM := Fuse([]Claim{fresh, stale1, stale2}, DefaultOptions(MajorityVote))
+	if resM[0].Value.FloatVal() != 9.99 {
+		t.Errorf("majority should pick the stale price: %+v", resM[0])
+	}
+}
+
+func TestFuseMultipleEntitiesSorted(t *testing.T) {
+	claims := []Claim{
+		claim("b", "x", "1", "s"),
+		claim("a", "y", "2", "s"),
+		claim("a", "x", "3", "s"),
+	}
+	res := Fuse(claims, DefaultOptions(MajorityVote))
+	if len(res) != 3 {
+		t.Fatal("should fuse per (entity, attribute)")
+	}
+	if res[0].Entity != "a" || res[0].Attribute != "x" || res[2].Entity != "b" {
+		t.Errorf("results not sorted: %+v", res)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	res := []Result{
+		{Entity: "e1", Attribute: "price", Value: dataset.Float(4.99)},
+		{Entity: "e2", Attribute: "price", Value: dataset.Float(9.99)},
+		{Entity: "e3", Attribute: "price", Value: dataset.Float(1.00)},
+	}
+	truth := map[string]float64{"e1": 4.99, "e2": 7.50}
+	acc, ok := Accuracy(res, func(e, a string) (dataset.Value, bool) {
+		v, has := truth[e]
+		return dataset.Float(v), has
+	})
+	if !ok || acc != 0.5 {
+		t.Errorf("accuracy = %f ok=%v, want 0.5", acc, ok)
+	}
+	_, ok = Accuracy(res, func(e, a string) (dataset.Value, bool) { return dataset.Null(), false })
+	if ok {
+		t.Error("no truth should report !ok")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		MajorityVote: "majority", WeightedVote: "weighted",
+		TruthFinder: "truthfinder", FreshnessWeighted: "freshness",
+	} {
+		if p.String() != want {
+			t.Errorf("Policy %d String = %q", p, p.String())
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	claims := []Claim{
+		claim("e1", "name", "Alpha", "s1"),
+		claim("e1", "name", "Beta", "s2"),
+	}
+	for i := 0; i < 5; i++ {
+		res := Fuse(claims, DefaultOptions(MajorityVote))
+		if res[0].Value.String() != "Alpha" {
+			t.Fatalf("tie should break lexicographically, got %v", res[0].Value)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package html
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const page = `<!DOCTYPE html>
+<html><head><title>Shop</title><style>.x{color:red}</style></head>
+<body>
+<!-- listing -->
+<div id="listing" class="products grid">
+  <div class="product" data-sku="A1">
+    <span class="name">USB Cable</span>
+    <span class="price">$4.99</span>
+    <img src="a1.png"/>
+  </div>
+  <div class="product" data-sku="B2">
+    <span class="name">HDMI Cable &amp; Adapter</span>
+    <span class="price">$7.50</span>
+  </div>
+</div>
+<script>var x = "<div>not parsed</div>";</script>
+</body></html>`
+
+func TestParseStructure(t *testing.T) {
+	root := Parse(page)
+	html := root.ElementChildren()
+	if len(html) != 1 || html[0].Tag != "html" {
+		t.Fatalf("root children = %v", html)
+	}
+	title := MustCompile("title").FindFirst(root)
+	if title == nil || title.Text() != "Shop" {
+		t.Fatal("title not parsed")
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	root := Parse(page)
+	listing := MustCompile("#listing").FindFirst(root)
+	if listing == nil {
+		t.Fatal("id selector failed")
+	}
+	if !listing.HasClass("products") || !listing.HasClass("grid") || listing.HasClass("nope") {
+		t.Error("HasClass wrong")
+	}
+	prods := MustCompile("div.product").Find(root)
+	if len(prods) != 2 {
+		t.Fatalf("products = %d, want 2", len(prods))
+	}
+	if prods[0].Attr("data-sku") != "A1" {
+		t.Errorf("attr = %q", prods[0].Attr("data-sku"))
+	}
+}
+
+func TestEntitiesUnescaped(t *testing.T) {
+	root := Parse(page)
+	names := MustCompile("span.name").Find(root)
+	if len(names) != 2 {
+		t.Fatal("names missing")
+	}
+	if names[1].Text() != "HDMI Cable & Adapter" {
+		t.Errorf("entity not unescaped: %q", names[1].Text())
+	}
+}
+
+func TestScriptRawText(t *testing.T) {
+	root := Parse(page)
+	divs := MustCompile("div").Find(root)
+	for _, d := range divs {
+		if strings.Contains(d.Text(), "not parsed") {
+			t.Error("script content leaked into DOM elements")
+		}
+	}
+	script := MustCompile("script").FindFirst(root)
+	if script == nil || !strings.Contains(script.Text(), "not parsed") {
+		t.Error("script raw text lost")
+	}
+}
+
+func TestVoidAndSelfClosing(t *testing.T) {
+	root := Parse(`<div><br><img src="x.png"/><span>after</span></div>`)
+	span := MustCompile("span").FindFirst(root)
+	if span == nil || span.Text() != "after" {
+		t.Fatal("void elements broke nesting")
+	}
+	img := MustCompile("img").FindFirst(root)
+	if img == nil || img.Attr("src") != "x.png" {
+		t.Fatal("self-closing img lost")
+	}
+	if img.Parent.Tag != "div" {
+		t.Error("img not child of div")
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	cases := []string{
+		"", "<", "<div", "<div><span>unclosed", "</div>stray", "<div class=>x</div>",
+		"<!-- unterminated", "<div class='a", "text only",
+	}
+	for _, c := range cases {
+		root := Parse(c) // must not panic
+		if root == nil {
+			t.Errorf("Parse(%q) returned nil", c)
+		}
+	}
+	root := Parse("<div><span>unclosed")
+	if MustCompile("span").FindFirst(root) == nil {
+		t.Error("unclosed elements should still be in tree")
+	}
+}
+
+func TestUnquotedAttributes(t *testing.T) {
+	root := Parse(`<div id=main class=box data-n=5>x</div>`)
+	d := MustCompile("#main").FindFirst(root)
+	if d == nil || d.Attr("class") != "box" || d.Attr("data-n") != "5" {
+		t.Fatalf("unquoted attrs: %v", d)
+	}
+}
+
+func TestBareAttribute(t *testing.T) {
+	root := Parse(`<input disabled type="text">`)
+	in := MustCompile("input[disabled]").FindFirst(root)
+	if in == nil {
+		t.Fatal("bare attribute selector failed")
+	}
+}
+
+func TestSelectorChild(t *testing.T) {
+	root := Parse(`<div class="a"><p><span>deep</span></p><span>direct</span></div>`)
+	direct := MustCompile("div.a > span").Find(root)
+	if len(direct) != 1 || direct[0].Text() != "direct" {
+		t.Fatalf("child combinator: %d matches", len(direct))
+	}
+	all := MustCompile("div.a span").Find(root)
+	if len(all) != 2 {
+		t.Fatalf("descendant combinator: %d matches, want 2", len(all))
+	}
+}
+
+func TestSelectorNthOfType(t *testing.T) {
+	root := Parse(`<ul><li>one</li><li>two</li><li>three</li></ul>`)
+	second := MustCompile("li:nth-of-type(2)").FindFirst(root)
+	if second == nil || second.Text() != "two" {
+		t.Fatal("nth-of-type failed")
+	}
+}
+
+func TestSelectorAttrValue(t *testing.T) {
+	root := Parse(page)
+	b2 := MustCompile(`div[data-sku=B2] span.price`).FindFirst(root)
+	if b2 == nil || b2.Text() != "$7.50" {
+		t.Fatalf("attr-value selector: %v", b2)
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	bad := []string{"", "  ", "> div", "div..x", "div.#", "div[unclosed", "div:hover", "li:nth-of-type(x)", "li:nth-of-type(0)"}
+	for _, s := range bad {
+		if _, err := Compile(s); err == nil {
+			t.Errorf("Compile(%q) should fail", s)
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	root := Parse(`<html><body><div></div><div><span>x</span></div></body></html>`)
+	span := MustCompile("span").FindFirst(root)
+	if got := span.Path(); got != "html[0]/body[0]/div[1]/span[0]" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<div class="a"><span>x &amp; y</span><img src="i.png"></div>`
+	root := Parse(src)
+	out := root.Render()
+	reparsed := Parse(out)
+	s1 := MustCompile("span").FindFirst(root)
+	s2 := MustCompile("span").FindFirst(reparsed)
+	if s1 == nil || s2 == nil || s1.Text() != s2.Text() {
+		t.Errorf("render round trip lost text: %q vs %q", s1.Text(), s2.Text())
+	}
+	i2 := MustCompile("img").FindFirst(reparsed)
+	if i2 == nil || i2.Attr("src") != "i.png" {
+		t.Error("render round trip lost attributes")
+	}
+}
+
+func TestTextNormalisesWhitespace(t *testing.T) {
+	root := Parse("<div>  a \n\t b  <span> c </span></div>")
+	if got := root.Text(); got != "a b c" {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	root := Parse(`<div><p><span>x</span></p><b>y</b></div>`)
+	var tags []string
+	root.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && n.Tag != "#root" {
+			tags = append(tags, n.Tag)
+		}
+		return n.Tag != "p" // prune under p
+	})
+	joined := strings.Join(tags, ",")
+	if joined != "div,p,b" {
+		t.Errorf("walk order = %s", joined)
+	}
+}
+
+func TestEscapeUnescapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		return Unescape(Escape(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package ontology provides the domain-knowledge substrate of the data
+// context (§2.3 of Furche et al., Example 4): a product-types taxonomy in
+// the style of productontology.org together with a schema.org-like property
+// vocabulary. Wrangling components use it to (a) judge source relevance,
+// (b) supplement syntactic schema matching with semantic evidence, and
+// (c) guide the fusion of property values.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Class is one node of the taxonomy.
+type Class struct {
+	ID       string   // unique identifier, e.g. "electronics/cables/hdmi"
+	Label    string   // display label, e.g. "HDMI Cable"
+	Synonyms []string // alternative labels used in the wild
+	Parent   string   // parent class ID; "" for roots
+}
+
+// Property describes an attribute in the shared vocabulary, e.g. "price".
+type Property struct {
+	Name     string   // canonical name
+	Synonyms []string // names used by sources ("cost", "amount", ...)
+	Numeric  bool     // whether values are expected numeric
+}
+
+// Taxonomy is an in-memory ontology: classes with subsumption plus a
+// property vocabulary. It is immutable after construction.
+type Taxonomy struct {
+	classes  map[string]*Class
+	children map[string][]string
+	props    map[string]*Property
+	propIdx  map[string]string // lowercase synonym -> canonical name
+}
+
+// New creates a taxonomy from class and property lists. Parents must be
+// declared (classes may appear in any order); unknown parents are an error.
+func New(classes []Class, props []Property) (*Taxonomy, error) {
+	t := &Taxonomy{
+		classes:  make(map[string]*Class, len(classes)),
+		children: make(map[string][]string),
+		props:    make(map[string]*Property, len(props)),
+		propIdx:  make(map[string]string),
+	}
+	for i := range classes {
+		c := classes[i]
+		if c.ID == "" {
+			return nil, fmt.Errorf("ontology: class with empty ID")
+		}
+		if _, dup := t.classes[c.ID]; dup {
+			return nil, fmt.Errorf("ontology: duplicate class %q", c.ID)
+		}
+		t.classes[c.ID] = &c
+	}
+	for id, c := range t.classes {
+		if c.Parent != "" {
+			if _, ok := t.classes[c.Parent]; !ok {
+				return nil, fmt.Errorf("ontology: class %q has unknown parent %q", id, c.Parent)
+			}
+			t.children[c.Parent] = append(t.children[c.Parent], id)
+		}
+	}
+	for p := range t.children {
+		sort.Strings(t.children[p])
+	}
+	// Reject cycles.
+	for id := range t.classes {
+		seen := map[string]bool{}
+		cur := id
+		for cur != "" {
+			if seen[cur] {
+				return nil, fmt.Errorf("ontology: cycle through class %q", cur)
+			}
+			seen[cur] = true
+			cur = t.classes[cur].Parent
+		}
+	}
+	for i := range props {
+		p := props[i]
+		if p.Name == "" {
+			return nil, fmt.Errorf("ontology: property with empty name")
+		}
+		if _, dup := t.props[p.Name]; dup {
+			return nil, fmt.Errorf("ontology: duplicate property %q", p.Name)
+		}
+		t.props[p.Name] = &p
+		t.propIdx[strings.ToLower(p.Name)] = p.Name
+		for _, s := range p.Synonyms {
+			t.propIdx[strings.ToLower(s)] = p.Name
+		}
+	}
+	return t, nil
+}
+
+// Class returns the class with the given ID, or nil.
+func (t *Taxonomy) Class(id string) *Class { return t.classes[id] }
+
+// Classes returns all class IDs sorted.
+func (t *Taxonomy) Classes() []string {
+	out := make([]string, 0, len(t.classes))
+	for id := range t.classes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Children returns the direct subclass IDs of the given class.
+func (t *Taxonomy) Children(id string) []string { return t.children[id] }
+
+// IsSubclassOf reports whether sub is (transitively) a subclass of super,
+// including sub == super.
+func (t *Taxonomy) IsSubclassOf(sub, super string) bool {
+	cur := sub
+	for cur != "" {
+		if cur == super {
+			return true
+		}
+		c := t.classes[cur]
+		if c == nil {
+			return false
+		}
+		cur = c.Parent
+	}
+	return false
+}
+
+// Ancestors returns the chain of ancestor IDs of id, nearest first,
+// excluding id itself.
+func (t *Taxonomy) Ancestors(id string) []string {
+	var out []string
+	c := t.classes[id]
+	for c != nil && c.Parent != "" {
+		out = append(out, c.Parent)
+		c = t.classes[c.Parent]
+	}
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b ("" if disjoint roots).
+func (t *Taxonomy) LCA(a, b string) string {
+	anc := map[string]bool{a: true}
+	for _, x := range t.Ancestors(a) {
+		anc[x] = true
+	}
+	if anc[b] {
+		return b
+	}
+	for _, x := range append([]string{b}, t.Ancestors(b)...) {
+		if anc[x] {
+			return x
+		}
+	}
+	return ""
+}
+
+// Depth returns the number of ancestors of id (roots have depth 0); -1 for
+// unknown classes.
+func (t *Taxonomy) Depth(id string) int {
+	if t.classes[id] == nil {
+		return -1
+	}
+	return len(t.Ancestors(id))
+}
+
+// Similarity returns the Wu-Palmer semantic similarity of two classes:
+// 2·depth(lca) / (depth(a)+depth(b)+2·ε) mapped to [0,1]; unknown classes
+// score 0, identical classes score 1.
+func (t *Taxonomy) Similarity(a, b string) float64 {
+	if t.classes[a] == nil || t.classes[b] == nil {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	lca := t.LCA(a, b)
+	if lca == "" {
+		return 0
+	}
+	dl := float64(t.Depth(lca)) + 1 // +1 so root LCA still contributes
+	da := float64(t.Depth(a)) + 1
+	db := float64(t.Depth(b)) + 1
+	return 2 * dl / (da + db)
+}
+
+// ClassifyLabel maps a free-text label (e.g. a product name or category
+// string from a source) to the best-matching class ID and its confidence in
+// [0,1]. Matching combines exact synonym lookup with fuzzy label matching.
+func (t *Taxonomy) ClassifyLabel(label string) (string, float64) {
+	norm := text.Normalize(label)
+	if norm == "" {
+		return "", 0
+	}
+	bestID, bestScore := "", 0.0
+	ids := t.Classes()
+	for _, id := range ids {
+		c := t.classes[id]
+		cands := append([]string{c.Label}, c.Synonyms...)
+		for _, cand := range cands {
+			cn := text.Normalize(cand)
+			var s float64
+			if cn == norm {
+				s = 1
+			} else {
+				s = 0.5*text.MongeElkanSym(norm, cn) + 0.5*text.JaccardTokens(norm, cn)
+			}
+			if s > bestScore || (s == bestScore && id < bestID) {
+				bestID, bestScore = id, s
+			}
+		}
+	}
+	if bestScore < 0.3 {
+		return "", bestScore
+	}
+	return bestID, bestScore
+}
+
+// CanonicalProperty maps a source attribute name to the canonical property
+// name and a confidence. Exact (case-insensitive) synonym hits score 1;
+// otherwise the best fuzzy match above 0.75 is returned.
+func (t *Taxonomy) CanonicalProperty(name string) (string, float64) {
+	ln := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := t.propIdx[ln]; ok {
+		return canon, 1
+	}
+	// Very short names carry too little signal for fuzzy matching — a
+	// one-letter header matches half the vocabulary at JW >= 0.75.
+	if len(ln) < 3 {
+		return "", 0
+	}
+	best, bestScore := "", 0.0
+	keys := make([]string, 0, len(t.propIdx))
+	for k := range t.propIdx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, syn := range keys {
+		if s := text.JaroWinkler(ln, syn); s > bestScore {
+			best, bestScore = t.propIdx[syn], s
+		}
+	}
+	if bestScore >= 0.75 {
+		return best, bestScore
+	}
+	return "", bestScore
+}
+
+// Property returns the property with the canonical name, or nil.
+func (t *Taxonomy) Property(name string) *Property { return t.props[name] }
+
+// Properties returns all canonical property names sorted.
+func (t *Taxonomy) Properties() []string {
+	out := make([]string, 0, len(t.props))
+	for n := range t.props {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

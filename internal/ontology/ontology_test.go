@@ -1,0 +1,210 @@
+package ontology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Taxonomy {
+	t, err := New([]Class{
+		{ID: "a", Label: "A"},
+		{ID: "a/b", Label: "B", Parent: "a", Synonyms: []string{"bee"}},
+		{ID: "a/b/c", Label: "C", Parent: "a/b"},
+		{ID: "a/d", Label: "D", Parent: "a"},
+		{ID: "e", Label: "E"},
+	}, []Property{
+		{Name: "price", Synonyms: []string{"cost"}, Numeric: true},
+		{Name: "name", Synonyms: []string{"title"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Class{{ID: "x", Parent: "missing"}}, nil); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if _, err := New([]Class{{ID: "x"}, {ID: "x"}}, nil); err == nil {
+		t.Error("duplicate class should fail")
+	}
+	if _, err := New([]Class{{ID: ""}}, nil); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if _, err := New(nil, []Property{{Name: "p"}, {Name: "p"}}); err == nil {
+		t.Error("duplicate property should fail")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	// Build a cycle by declaring parents that loop.
+	_, err := New([]Class{
+		{ID: "x", Parent: "y"},
+		{ID: "y", Parent: "x"},
+	}, nil)
+	if err == nil {
+		t.Error("cycle should be rejected")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	tx := small()
+	if !tx.IsSubclassOf("a/b/c", "a") || !tx.IsSubclassOf("a/b/c", "a/b/c") {
+		t.Error("transitive/reflexive subsumption failed")
+	}
+	if tx.IsSubclassOf("a", "a/b/c") || tx.IsSubclassOf("e", "a") {
+		t.Error("false subsumption")
+	}
+}
+
+func TestAncestorsDepthLCA(t *testing.T) {
+	tx := small()
+	anc := tx.Ancestors("a/b/c")
+	if len(anc) != 2 || anc[0] != "a/b" || anc[1] != "a" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if tx.Depth("a") != 0 || tx.Depth("a/b/c") != 2 || tx.Depth("zzz") != -1 {
+		t.Error("Depth wrong")
+	}
+	if tx.LCA("a/b/c", "a/d") != "a" {
+		t.Errorf("LCA = %q, want a", tx.LCA("a/b/c", "a/d"))
+	}
+	if tx.LCA("a/b", "a/b/c") != "a/b" {
+		t.Error("LCA with ancestor should be the ancestor")
+	}
+	if tx.LCA("a", "e") != "" {
+		t.Error("disjoint roots should have empty LCA")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	tx := small()
+	if tx.Similarity("a/b", "a/b") != 1 {
+		t.Error("self similarity should be 1")
+	}
+	sib := tx.Similarity("a/b", "a/d")
+	cousin := tx.Similarity("a/b/c", "a/d")
+	if sib <= cousin {
+		t.Errorf("siblings (%f) should beat deeper cousins (%f)", sib, cousin)
+	}
+	if tx.Similarity("a", "e") != 0 {
+		t.Error("disjoint similarity should be 0")
+	}
+	if tx.Similarity("a", "unknown") != 0 {
+		t.Error("unknown class should be 0")
+	}
+}
+
+func TestClassifyLabel(t *testing.T) {
+	tx := ProductTaxonomy()
+	cases := []struct {
+		label string
+		want  string
+	}{
+		{"HDMI Cable", "electronics/cables/hdmi"},
+		{"hdmi lead", "electronics/cables/hdmi"},
+		{"Wireless Mouse", "electronics/peripherals/mouse"},
+		{"usb stick", "electronics/storage/usbstick"},
+		{"mechanical keyboard", "electronics/peripherals/keyboard"},
+	}
+	for _, c := range cases {
+		got, conf := tx.ClassifyLabel(c.label)
+		if got != c.want {
+			t.Errorf("ClassifyLabel(%q) = %q (conf %f), want %q", c.label, got, conf, c.want)
+		}
+	}
+	if id, _ := tx.ClassifyLabel(""); id != "" {
+		t.Error("empty label should not classify")
+	}
+}
+
+func TestCanonicalProperty(t *testing.T) {
+	tx := ProductTaxonomy()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"price", "price"},
+		{"COST", "price"},
+		{"unit_price", "price"},
+		{"title", "name"},
+		{"manufacturer", "brand"},
+		{"zzz_unrelated_qqq", ""},
+	}
+	for _, c := range cases {
+		got, _ := tx.CanonicalProperty(c.in)
+		if got != c.want {
+			t.Errorf("CanonicalProperty(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinTaxonomiesWellFormed(t *testing.T) {
+	for _, tx := range []*Taxonomy{ProductTaxonomy(), LocationTaxonomy()} {
+		ids := tx.Classes()
+		if len(ids) < 15 {
+			t.Fatalf("taxonomy too small: %d classes", len(ids))
+		}
+		roots := 0
+		for _, id := range ids {
+			if tx.Class(id).Parent == "" {
+				roots++
+			}
+		}
+		if roots == 0 {
+			t.Error("taxonomy has no root")
+		}
+		if len(tx.Properties()) < 5 {
+			t.Error("property vocabulary too small")
+		}
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	tx := ProductTaxonomy()
+	kids := tx.Children("electronics")
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1] >= kids[i] {
+			t.Fatal("children not sorted")
+		}
+	}
+	if len(kids) == 0 {
+		t.Fatal("electronics should have children")
+	}
+}
+
+// Property: Similarity is symmetric and bounded in [0,1] over the built-in
+// product taxonomy.
+func TestSimilaritySymmetricProperty(t *testing.T) {
+	tx := ProductTaxonomy()
+	ids := tx.Classes()
+	f := func(i, j uint16) bool {
+		a := ids[int(i)%len(ids)]
+		b := ids[int(j)%len(ids)]
+		s1 := tx.Similarity(a, b)
+		s2 := tx.Similarity(b, a)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LCA subsumes both arguments.
+func TestLCASubsumesProperty(t *testing.T) {
+	tx := ProductTaxonomy()
+	ids := tx.Classes()
+	f := func(i, j uint16) bool {
+		a := ids[int(i)%len(ids)]
+		b := ids[int(j)%len(ids)]
+		lca := tx.LCA(a, b)
+		if lca == "" {
+			return true
+		}
+		return tx.IsSubclassOf(a, lca) && tx.IsSubclassOf(b, lca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package ontology
+
+// This file ships the built-in domain ontologies used by the examples and
+// experiments. They substitute for the external resources the paper cites
+// (The Product Types Ontology and schema.org, Example 4): only subsumption
+// and label lookup are exercised by the wrangling components, so a compact
+// curated taxonomy preserves the relevant behaviour.
+
+// ProductTaxonomy returns the e-commerce product-types ontology together
+// with the schema.org-like offer/product property vocabulary.
+func ProductTaxonomy() *Taxonomy {
+	classes := []Class{
+		{ID: "product", Label: "Product"},
+
+		{ID: "electronics", Label: "Electronics", Parent: "product"},
+		{ID: "electronics/cables", Label: "Cables", Parent: "electronics", Synonyms: []string{"cable", "leads", "cords"}},
+		{ID: "electronics/cables/usb", Label: "USB Cable", Parent: "electronics/cables", Synonyms: []string{"usb lead", "usb cord", "usb-c cable"}},
+		{ID: "electronics/cables/hdmi", Label: "HDMI Cable", Parent: "electronics/cables", Synonyms: []string{"hdmi lead", "hdmi cord"}},
+		{ID: "electronics/cables/ethernet", Label: "Ethernet Cable", Parent: "electronics/cables", Synonyms: []string{"network cable", "cat6 cable", "patch cable"}},
+		{ID: "electronics/audio", Label: "Audio", Parent: "electronics"},
+		{ID: "electronics/audio/headphones", Label: "Headphones", Parent: "electronics/audio", Synonyms: []string{"headset", "earphones", "earbuds"}},
+		{ID: "electronics/audio/speakers", Label: "Speakers", Parent: "electronics/audio", Synonyms: []string{"loudspeaker", "bluetooth speaker"}},
+		{ID: "electronics/peripherals", Label: "Peripherals", Parent: "electronics"},
+		{ID: "electronics/peripherals/mouse", Label: "Computer Mouse", Parent: "electronics/peripherals", Synonyms: []string{"mouse", "wireless mouse", "gaming mouse"}},
+		{ID: "electronics/peripherals/keyboard", Label: "Keyboard", Parent: "electronics/peripherals", Synonyms: []string{"mechanical keyboard", "wireless keyboard"}},
+		{ID: "electronics/peripherals/webcam", Label: "Webcam", Parent: "electronics/peripherals", Synonyms: []string{"web camera", "usb camera"}},
+		{ID: "electronics/peripherals/monitor", Label: "Monitor", Parent: "electronics/peripherals", Synonyms: []string{"display", "screen", "lcd monitor"}},
+		{ID: "electronics/storage", Label: "Storage", Parent: "electronics"},
+		{ID: "electronics/storage/ssd", Label: "Solid State Drive", Parent: "electronics/storage", Synonyms: []string{"ssd", "nvme drive"}},
+		{ID: "electronics/storage/hdd", Label: "Hard Disk Drive", Parent: "electronics/storage", Synonyms: []string{"hdd", "hard drive", "external drive"}},
+		{ID: "electronics/storage/usbstick", Label: "USB Flash Drive", Parent: "electronics/storage", Synonyms: []string{"usb stick", "flash drive", "pen drive", "memory stick"}},
+		{ID: "electronics/phones", Label: "Phones", Parent: "electronics"},
+		{ID: "electronics/phones/smartphone", Label: "Smartphone", Parent: "electronics/phones", Synonyms: []string{"mobile phone", "cell phone", "android phone"}},
+		{ID: "electronics/phones/charger", Label: "Phone Charger", Parent: "electronics/phones", Synonyms: []string{"charger", "wall charger", "usb charger", "power adapter"}},
+		{ID: "electronics/phones/case", Label: "Phone Case", Parent: "electronics/phones", Synonyms: []string{"phone cover", "protective case"}},
+
+		{ID: "home", Label: "Home & Kitchen", Parent: "product"},
+		{ID: "home/kitchen", Label: "Kitchen", Parent: "home"},
+		{ID: "home/kitchen/kettle", Label: "Electric Kettle", Parent: "home/kitchen", Synonyms: []string{"kettle", "tea kettle"}},
+		{ID: "home/kitchen/toaster", Label: "Toaster", Parent: "home/kitchen", Synonyms: []string{"bread toaster"}},
+		{ID: "home/kitchen/blender", Label: "Blender", Parent: "home/kitchen", Synonyms: []string{"smoothie maker", "food blender"}},
+		{ID: "home/lighting", Label: "Lighting", Parent: "home"},
+		{ID: "home/lighting/desklamp", Label: "Desk Lamp", Parent: "home/lighting", Synonyms: []string{"table lamp", "led lamp"}},
+		{ID: "home/lighting/bulb", Label: "Light Bulb", Parent: "home/lighting", Synonyms: []string{"led bulb", "smart bulb"}},
+
+		{ID: "sports", Label: "Sports & Outdoors", Parent: "product"},
+		{ID: "sports/fitness", Label: "Fitness", Parent: "sports"},
+		{ID: "sports/fitness/yogamat", Label: "Yoga Mat", Parent: "sports/fitness", Synonyms: []string{"exercise mat", "fitness mat"}},
+		{ID: "sports/fitness/dumbbell", Label: "Dumbbell", Parent: "sports/fitness", Synonyms: []string{"hand weight", "free weight"}},
+		{ID: "sports/cycling", Label: "Cycling", Parent: "sports"},
+		{ID: "sports/cycling/helmet", Label: "Bike Helmet", Parent: "sports/cycling", Synonyms: []string{"cycling helmet", "bicycle helmet"}},
+		{ID: "sports/cycling/lock", Label: "Bike Lock", Parent: "sports/cycling", Synonyms: []string{"bicycle lock", "d-lock", "chain lock"}},
+
+		{ID: "office", Label: "Office Supplies", Parent: "product"},
+		{ID: "office/paper", Label: "Paper", Parent: "office", Synonyms: []string{"printer paper", "copy paper"}},
+		{ID: "office/pens", Label: "Pens", Parent: "office", Synonyms: []string{"ballpoint pen", "gel pen"}},
+		{ID: "office/notebooks", Label: "Notebooks", Parent: "office", Synonyms: []string{"notepad", "journal"}},
+	}
+	props := []Property{
+		{Name: "sku", Synonyms: []string{"id", "product_id", "item_no", "item number", "ref", "article"}},
+		{Name: "name", Synonyms: []string{"title", "product", "product_name", "item", "description_short", "label"}},
+		{Name: "price", Synonyms: []string{"cost", "amount", "price_usd", "unit_price", "sale_price", "offer"}, Numeric: true},
+		{Name: "currency", Synonyms: []string{"curr", "ccy", "price_currency"}},
+		{Name: "brand", Synonyms: []string{"manufacturer", "maker", "vendor", "make"}},
+		{Name: "category", Synonyms: []string{"cat", "department", "type", "product_type", "section"}},
+		{Name: "availability", Synonyms: []string{"in_stock", "stock", "inventory", "avail"}},
+		{Name: "rating", Synonyms: []string{"stars", "score", "review_score", "avg_rating"}, Numeric: true},
+		{Name: "updated", Synonyms: []string{"last_updated", "timestamp", "as_of", "date", "modified"}},
+		{Name: "url", Synonyms: []string{"link", "href", "product_url", "page"}},
+	}
+	t, err := New(classes, props)
+	if err != nil {
+		panic("ontology: built-in product taxonomy invalid: " + err.Error())
+	}
+	return t
+}
+
+// LocationTaxonomy returns the business-locations ontology used by Example
+// 3 (check-in places: restaurants, offices, cinemas, ...) and its address
+// property vocabulary.
+func LocationTaxonomy() *Taxonomy {
+	classes := []Class{
+		{ID: "place", Label: "Place"},
+		{ID: "place/food", Label: "Food & Drink", Parent: "place"},
+		{ID: "place/food/restaurant", Label: "Restaurant", Parent: "place/food", Synonyms: []string{"bistro", "eatery", "diner", "trattoria"}},
+		{ID: "place/food/cafe", Label: "Cafe", Parent: "place/food", Synonyms: []string{"coffee shop", "coffeehouse", "tearoom"}},
+		{ID: "place/food/bar", Label: "Bar", Parent: "place/food", Synonyms: []string{"pub", "tavern", "wine bar"}},
+		{ID: "place/entertainment", Label: "Entertainment", Parent: "place"},
+		{ID: "place/entertainment/cinema", Label: "Cinema", Parent: "place/entertainment", Synonyms: []string{"movie theater", "movie theatre", "multiplex"}},
+		{ID: "place/entertainment/theatre", Label: "Theatre", Parent: "place/entertainment", Synonyms: []string{"playhouse", "theater"}},
+		{ID: "place/entertainment/museum", Label: "Museum", Parent: "place/entertainment", Synonyms: []string{"gallery", "art gallery"}},
+		{ID: "place/work", Label: "Work", Parent: "place"},
+		{ID: "place/work/office", Label: "Office", Parent: "place/work", Synonyms: []string{"workplace", "coworking space", "business centre"}},
+		{ID: "place/retail", Label: "Retail", Parent: "place"},
+		{ID: "place/retail/supermarket", Label: "Supermarket", Parent: "place/retail", Synonyms: []string{"grocery store", "grocer", "hypermarket"}},
+		{ID: "place/retail/bookshop", Label: "Bookshop", Parent: "place/retail", Synonyms: []string{"bookstore", "book shop"}},
+		{ID: "place/health", Label: "Health", Parent: "place"},
+		{ID: "place/health/gym", Label: "Gym", Parent: "place/health", Synonyms: []string{"fitness centre", "fitness center", "health club"}},
+		{ID: "place/health/pharmacy", Label: "Pharmacy", Parent: "place/health", Synonyms: []string{"chemist", "drugstore"}},
+		{ID: "place/lodging", Label: "Lodging", Parent: "place"},
+		{ID: "place/lodging/hotel", Label: "Hotel", Parent: "place/lodging", Synonyms: []string{"inn", "guesthouse", "b&b"}},
+	}
+	props := []Property{
+		{Name: "name", Synonyms: []string{"business", "business_name", "venue", "place", "title"}},
+		{Name: "street", Synonyms: []string{"address", "addr", "street_address", "address1", "road"}},
+		{Name: "city", Synonyms: []string{"town", "locality", "municipality"}},
+		{Name: "postcode", Synonyms: []string{"zip", "zipcode", "postal_code", "post_code"}},
+		{Name: "lat", Synonyms: []string{"latitude", "geo_lat", "y"}, Numeric: true},
+		{Name: "lon", Synonyms: []string{"longitude", "lng", "geo_lon", "x"}, Numeric: true},
+		{Name: "category", Synonyms: []string{"type", "kind", "place_type", "venue_type"}},
+		{Name: "phone", Synonyms: []string{"tel", "telephone", "phone_number", "contact"}},
+		{Name: "url", Synonyms: []string{"website", "web", "homepage", "site", "link"}},
+		{Name: "checkins", Synonyms: []string{"visits", "check_ins", "popularity"}, Numeric: true},
+	}
+	t, err := New(classes, props)
+	if err != nil {
+		panic("ontology: built-in location taxonomy invalid: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	g := NewGraph()
+	src := Ref{KindSource, "s1"}
+	ext := Ref{KindExtraction, "e1"}
+	rec := g.Put(ext, "extract.Run", []Ref{src}, "")
+	if rec.Step != 1 {
+		t.Error("first step should be 1")
+	}
+	got := g.Get(ext)
+	if got == nil || got.Component != "extract.Run" || len(got.Inputs) != 1 {
+		t.Fatalf("Get = %+v", got)
+	}
+	if g.Get(Ref{KindSource, "nope"}) != nil {
+		t.Error("unknown ref should be nil")
+	}
+	if g.Len() != 1 {
+		t.Error("Len wrong")
+	}
+}
+
+func pipeline(g *Graph) {
+	s1 := Ref{KindSource, "s1"}
+	s2 := Ref{KindSource, "s2"}
+	w1 := Ref{KindWrapper, "w1"}
+	e1 := Ref{KindExtraction, "e1"}
+	e2 := Ref{KindExtraction, "e2"}
+	m := Ref{KindMapping, "m1"}
+	f := Ref{KindFusion, "wrangled"}
+	g.Put(w1, "extract.Induce", []Ref{s1}, "")
+	g.Put(e1, "extract.Run", []Ref{s1, w1}, "")
+	g.Put(e2, "extract.Run", []Ref{s2}, "")
+	g.Put(m, "mapping.Generate", []Ref{e1, e2}, "")
+	g.Put(f, "fusion.Fuse", []Ref{m}, "")
+}
+
+func TestAffected(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	aff := g.Affected(Ref{KindSource, "s1"})
+	ids := refIDs(aff)
+	for _, want := range []string{"w1", "e1", "m1", "wrangled"} {
+		if !strings.Contains(ids, want) {
+			t.Errorf("affected missing %s: %s", want, ids)
+		}
+	}
+	if strings.Contains(ids, "e2") {
+		t.Error("e2 should not be affected by s1")
+	}
+	// Changing s2 touches only e2, m1, wrangled.
+	aff2 := g.Affected(Ref{KindSource, "s2"})
+	if len(aff2) != 3 {
+		t.Errorf("affected(s2) = %v", aff2)
+	}
+}
+
+func TestAffectedExcludesSelf(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	for _, r := range g.Affected(Ref{KindSource, "s1"}) {
+		if r == (Ref{KindSource, "s1"}) {
+			t.Error("changed ref should not be in affected set")
+		}
+	}
+}
+
+func TestLineageAndSources(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	lin := refIDs(g.Lineage(Ref{KindFusion, "wrangled"}))
+	for _, want := range []string{"s1", "s2", "w1", "e1", "e2", "m1"} {
+		if !strings.Contains(lin, want) {
+			t.Errorf("lineage missing %s: %s", want, lin)
+		}
+	}
+	srcs := g.Sources(Ref{KindFusion, "wrangled"})
+	if len(srcs) != 2 {
+		t.Errorf("sources = %v", srcs)
+	}
+}
+
+func TestReplaceDerivation(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	// Re-derive e1 from s2 only; s1 should no longer affect e1.
+	g.Put(Ref{KindExtraction, "e1"}, "extract.Run", []Ref{{KindSource, "s2"}}, "repaired")
+	ids := refIDs(g.Affected(Ref{KindSource, "s1"}))
+	if strings.Contains(ids, "e1") {
+		t.Errorf("e1 still affected by s1 after rederivation: %s", ids)
+	}
+	ids2 := refIDs(g.Affected(Ref{KindSource, "s2"}))
+	if !strings.Contains(ids2, "e1") {
+		t.Error("e1 should now depend on s2")
+	}
+}
+
+func TestDependentsSorted(t *testing.T) {
+	g := NewGraph()
+	s := Ref{KindSource, "s"}
+	g.Put(Ref{KindExtraction, "b"}, "x", []Ref{s}, "")
+	g.Put(Ref{KindExtraction, "a"}, "x", []Ref{s}, "")
+	deps := g.Dependents(s)
+	if len(deps) != 2 || deps[0].ID != "a" || deps[1].ID != "b" {
+		t.Errorf("Dependents = %v", deps)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	d := g.Describe(Ref{KindFusion, "wrangled"})
+	if !strings.Contains(d, "fusion.Fuse") || !strings.Contains(d, "mapping:m1") {
+		t.Errorf("Describe = %s", d)
+	}
+	if !strings.Contains(g.Describe(Ref{KindSource, "zz"}), "unknown") {
+		t.Error("unknown describe should say so")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := Ref{KindSource, fmt.Sprintf("s%d", i)}
+			ext := Ref{KindExtraction, fmt.Sprintf("e%d", i)}
+			g.Put(ext, "extract.Run", []Ref{src}, "")
+			g.Affected(src)
+			g.Lineage(ext)
+		}(i)
+	}
+	wg.Wait()
+	if g.Len() != 20 {
+		t.Errorf("Len = %d, want 20", g.Len())
+	}
+}
+
+func refIDs(refs []Ref) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.ID
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,155 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// This file adds data profiling: discovery of approximate functional
+// dependencies from the data itself. The paper's wrangling process must
+// "make use of all the available information" (§2.3) without a DBA who
+// hand-writes integrity constraints; discovered dependencies feed the
+// cost-based repair of Bohannon et al. [7] implemented in Repair.
+
+// DiscoveredFD is an approximate functional dependency LHS -> RHS with
+// its measured confidence: the fraction of rows that agree with their LHS
+// group's majority RHS value.
+type DiscoveredFD struct {
+	LHS        []string
+	RHS        string
+	Confidence float64
+	Groups     int // number of distinct LHS groups observed
+}
+
+// CFD converts the discovered dependency into the repairable form.
+func (d DiscoveredFD) CFD() CFD { return CFD{LHS: d.LHS, RHS: d.RHS} }
+
+// String renders the dependency with its confidence.
+func (d DiscoveredFD) String() string {
+	return fmt.Sprintf("%v -> %s (%.3f over %d groups)", d.LHS, d.RHS, d.Confidence, d.Groups)
+}
+
+// DiscoverFDs profiles the table for approximate FDs with single-column
+// left-hand sides (the shape Repair consumes), returning those with
+// confidence >= minConf and at least minGroups distinct LHS groups (to
+// exclude vacuous dependencies from near-key columns). Results are
+// sorted by descending confidence, then LHS/RHS names.
+func DiscoverFDs(t *dataset.Table, minConf float64, minGroups int) []DiscoveredFD {
+	if t.Len() == 0 {
+		return nil
+	}
+	if minGroups < 1 {
+		minGroups = 1
+	}
+	schema := t.Schema()
+	var out []DiscoveredFD
+	for li := range schema {
+		// Continuous numeric columns make meaningless determinants: a
+		// float that two rows happen to share is coincidence, not a key,
+		// and repairing through it propagates values across entities.
+		if schema[li].Kind == dataset.KindFloat {
+			continue
+		}
+		for ri := range schema {
+			if li == ri {
+				continue
+			}
+			conf, groups, ok := fdConfidence(t, li, ri)
+			if !ok || groups < minGroups || conf < minConf {
+				continue
+			}
+			// A dependency whose LHS is a key (every group size 1) is
+			// trivially confident and useless for repair.
+			if groups == t.Len() {
+				continue
+			}
+			out = append(out, DiscoveredFD{
+				LHS:        []string{schema[li].Name},
+				RHS:        schema[ri].Name,
+				Confidence: conf,
+				Groups:     groups,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].LHS[0] != out[j].LHS[0] {
+			return out[i].LHS[0] < out[j].LHS[0]
+		}
+		return out[i].RHS < out[j].RHS
+	})
+	return out
+}
+
+// fdConfidence measures how functionally li determines ri: rows agreeing
+// with their group majority / rows considered. Rows with null on either
+// side are skipped; ok is false when nothing could be measured.
+func fdConfidence(t *dataset.Table, li, ri int) (float64, int, bool) {
+	type group struct {
+		counts map[string]int
+		total  int
+	}
+	groups := map[string]*group{}
+	for _, r := range t.Rows() {
+		if r[li].IsNull() || r[ri].IsNull() {
+			continue
+		}
+		k := r[li].Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{counts: map[string]int{}}
+			groups[k] = g
+		}
+		g.counts[text.Normalize(r[ri].String())]++
+		g.total++
+	}
+	if len(groups) == 0 {
+		return 0, 0, false
+	}
+	agree, total := 0, 0
+	for _, g := range groups {
+		max := 0
+		for _, n := range g.counts {
+			if n > max {
+				max = n
+			}
+		}
+		agree += max
+		total += g.total
+	}
+	if total == 0 {
+		return 0, 0, false
+	}
+	return float64(agree) / float64(total), len(groups), true
+}
+
+// ProfileAndRepair discovers near-exact dependencies (confidence in
+// [minConf, 1)) and repairs their violations in place, returning the
+// dependencies used and the number of cells changed. Exact dependencies
+// (confidence 1) have nothing to repair; dependencies below minConf are
+// too unreliable to act on — acting on weak evidence is exactly what §4.2
+// warns against.
+func ProfileAndRepair(t *dataset.Table, minConf float64) ([]DiscoveredFD, int, error) {
+	fds := DiscoverFDs(t, minConf, 2)
+	changed := 0
+	var used []DiscoveredFD
+	for _, fd := range fds {
+		if fd.Confidence >= 1 {
+			continue
+		}
+		n, err := Repair(t, []CFD{fd.CFD()})
+		if err != nil {
+			return used, changed, err
+		}
+		if n > 0 {
+			used = append(used, fd)
+			changed += n
+		}
+	}
+	return used, changed, nil
+}

@@ -1,0 +1,347 @@
+// Package quality implements the Quality store of the working data
+// (Figure 1): analyses that "may apply to individual data sources, the
+// results of different extractions and components of relevance to
+// integration". It measures the §2.1 criteria the user context trades off
+// — completeness, accuracy, timeliness, consistency — and implements
+// conditional functional dependencies with a cost-based repair heuristic
+// in the spirit of Bohannon et al. [7].
+package quality
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// Scorecard is the per-artefact quality summary stored in working data.
+type Scorecard struct {
+	Completeness float64 // fraction of non-null cells
+	Accuracy     float64 // agreement with reference data (NaN if unknown)
+	Timeliness   float64 // freshness score in [0,1] (NaN if unknown)
+	Consistency  float64 // fraction of rows violating no dependency
+	Rows         int
+}
+
+// Utility collapses a scorecard into one number with the given weights
+// (unknown dimensions are skipped and the weights renormalised).
+func (s Scorecard) Utility(wCompleteness, wAccuracy, wTimeliness, wConsistency float64) float64 {
+	total, wsum := 0.0, 0.0
+	add := func(v, w float64) {
+		if !math.IsNaN(v) && w > 0 {
+			total += v * w
+			wsum += w
+		}
+	}
+	add(s.Completeness, wCompleteness)
+	add(s.Accuracy, wAccuracy)
+	add(s.Timeliness, wTimeliness)
+	add(s.Consistency, wConsistency)
+	if wsum == 0 {
+		return 0
+	}
+	return total / wsum
+}
+
+// Completeness returns the fraction of non-null cells in the table.
+func Completeness(t *dataset.Table) float64 {
+	if t.Len() == 0 || len(t.Schema()) == 0 {
+		return 0
+	}
+	filled, total := 0, 0
+	for _, r := range t.Rows() {
+		for _, v := range r {
+			total++
+			if !v.IsNull() {
+				filled++
+			}
+		}
+	}
+	return float64(filled) / float64(total)
+}
+
+// ColumnCompleteness returns per-column non-null fractions.
+func ColumnCompleteness(t *dataset.Table) map[string]float64 {
+	out := make(map[string]float64, len(t.Schema()))
+	for i, f := range t.Schema() {
+		filled := 0
+		for _, r := range t.Rows() {
+			if !r[i].IsNull() {
+				filled++
+			}
+		}
+		if t.Len() > 0 {
+			out[f.Name] = float64(filled) / float64(t.Len())
+		} else {
+			out[f.Name] = 0
+		}
+	}
+	return out
+}
+
+// Accuracy compares the table against reference data on a shared key:
+// the fraction of paired non-null cells that agree (normalised text, 2%
+// numeric tolerance). Returns NaN when nothing could be compared.
+func Accuracy(t, reference *dataset.Table, keyCol string) float64 {
+	kc := t.Schema().Index(keyCol)
+	rkc := reference.Schema().Index(keyCol)
+	if kc < 0 || rkc < 0 {
+		return math.NaN()
+	}
+	refByKey := map[string]dataset.Record{}
+	for _, r := range reference.Rows() {
+		if !r[rkc].IsNull() {
+			refByKey[text.Normalize(r[rkc].String())] = r
+		}
+	}
+	agree, total := 0, 0
+	for _, r := range t.Rows() {
+		if r[kc].IsNull() {
+			continue
+		}
+		ref, ok := refByKey[text.Normalize(r[kc].String())]
+		if !ok {
+			continue
+		}
+		for i, f := range t.Schema() {
+			if i == kc || r[i].IsNull() {
+				continue
+			}
+			ri := reference.Schema().Index(f.Name)
+			if ri < 0 || ref[ri].IsNull() {
+				continue
+			}
+			total++
+			if agreeValues(r[i], ref[ri]) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(agree) / float64(total)
+}
+
+func agreeValues(a, b dataset.Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		x, y := a.FloatVal(), b.FloatVal()
+		den := math.Max(math.Abs(x), math.Abs(y))
+		if den == 0 {
+			return true
+		}
+		return math.Abs(x-y)/den <= 0.02
+	}
+	return text.Normalize(a.String()) == text.Normalize(b.String())
+}
+
+// Timeliness scores the freshness of a timestamp column with exponential
+// decay: value 1 at age 0, 0.5 at halfLife. Rows with null timestamps are
+// scored 0. Returns NaN if the column is missing or never parseable.
+func Timeliness(t *dataset.Table, timeCol string, now time.Time, halfLife time.Duration) float64 {
+	c := t.Schema().Index(timeCol)
+	if c < 0 || t.Len() == 0 || halfLife <= 0 {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for _, r := range t.Rows() {
+		v := r[c]
+		var ts time.Time
+		switch {
+		case v.Kind() == dataset.KindTime:
+			ts = v.TimeVal()
+		case !v.IsNull():
+			if cv, ok := v.Coerce(dataset.KindTime); ok {
+				ts = cv.TimeVal()
+			}
+		}
+		n++
+		if ts.IsZero() {
+			continue // counts as 0
+		}
+		age := now.Sub(ts)
+		if age < 0 {
+			age = 0
+		}
+		sum += math.Pow(0.5, float64(age)/float64(halfLife))
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// CFD is a conditional functional dependency: within rows matching the
+// condition (ConditionCol = ConditionVal, or all rows if ConditionCol is
+// empty), LHS values determine RHS values.
+type CFD struct {
+	ConditionCol string
+	ConditionVal string // normalised comparison
+	LHS          []string
+	RHS          string
+}
+
+// String renders the dependency.
+func (d CFD) String() string {
+	cond := ""
+	if d.ConditionCol != "" {
+		cond = fmt.Sprintf("[%s=%s] ", d.ConditionCol, d.ConditionVal)
+	}
+	return fmt.Sprintf("%s%v -> %s", cond, d.LHS, d.RHS)
+}
+
+// Violation records one row that disagrees with the majority RHS value of
+// its LHS group.
+type Violation struct {
+	Row      int
+	CFD      CFD
+	Expected dataset.Value
+	Actual   dataset.Value
+}
+
+// Violations finds all CFD violations: for each LHS group, the majority
+// non-null RHS value is taken as expected and dissenting rows are
+// reported. Groups with no majority (all values distinct) report all rows
+// whose value differs from the first-most-frequent.
+func Violations(t *dataset.Table, cfd CFD) ([]Violation, error) {
+	lhsIdx := make([]int, len(cfd.LHS))
+	for i, col := range cfd.LHS {
+		lhsIdx[i] = t.Schema().Index(col)
+		if lhsIdx[i] < 0 {
+			return nil, fmt.Errorf("quality: cfd lhs column %q missing", col)
+		}
+	}
+	rhsIdx := t.Schema().Index(cfd.RHS)
+	if rhsIdx < 0 {
+		return nil, fmt.Errorf("quality: cfd rhs column %q missing", cfd.RHS)
+	}
+	condIdx := -1
+	if cfd.ConditionCol != "" {
+		condIdx = t.Schema().Index(cfd.ConditionCol)
+		if condIdx < 0 {
+			return nil, fmt.Errorf("quality: cfd condition column %q missing", cfd.ConditionCol)
+		}
+	}
+	type group struct {
+		counts map[string]int
+		rep    map[string]dataset.Value
+		rows   []int
+	}
+	groups := map[string]*group{}
+	for i, r := range t.Rows() {
+		if condIdx >= 0 && text.Normalize(r[condIdx].String()) != text.Normalize(cfd.ConditionVal) {
+			continue
+		}
+		if r[rhsIdx].IsNull() {
+			continue
+		}
+		key := r.Key(lhsIdx...)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{counts: map[string]int{}, rep: map[string]dataset.Value{}}
+			groups[key] = g
+		}
+		norm := text.Normalize(r[rhsIdx].String())
+		g.counts[norm]++
+		if _, ok := g.rep[norm]; !ok {
+			g.rep[norm] = r[rhsIdx]
+		}
+		g.rows = append(g.rows, i)
+	}
+	var out []Violation
+	for _, g := range groups {
+		if len(g.counts) <= 1 {
+			continue
+		}
+		best, bestN := "", -1
+		total := 0
+		for v, n := range g.counts {
+			total += n
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		// Only a strict majority is evidence: a 1-1 tie (or any split
+		// without a dominant value) gives no basis to call either row the
+		// violator, and acting on it would corrupt data arbitrarily.
+		if bestN < 2 || bestN*2 <= total {
+			continue
+		}
+		for _, row := range g.rows {
+			actual := t.Row(row)[rhsIdx]
+			if text.Normalize(actual.String()) != best {
+				out = append(out, Violation{Row: row, CFD: cfd, Expected: g.rep[best], Actual: actual})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Consistency returns the fraction of rows not involved in any violation
+// of the given dependencies.
+func Consistency(t *dataset.Table, cfds []CFD) (float64, error) {
+	if t.Len() == 0 {
+		return 1, nil
+	}
+	bad := map[int]bool{}
+	for _, cfd := range cfds {
+		vs, err := Violations(t, cfd)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range vs {
+			bad[v.Row] = true
+		}
+	}
+	return 1 - float64(len(bad))/float64(t.Len()), nil
+}
+
+// Repair applies the cost-based value-modification heuristic of [7]: each
+// violating row's RHS is overwritten with the group majority value (the
+// minimal-cost repair under unit update cost), mutating the table in
+// place. It returns the number of cells changed. Repairs are applied per
+// dependency in order; later dependencies see earlier repairs.
+func Repair(t *dataset.Table, cfds []CFD) (int, error) {
+	changed := 0
+	for _, cfd := range cfds {
+		vs, err := Violations(t, cfd)
+		if err != nil {
+			return changed, err
+		}
+		rhsIdx := t.Schema().Index(cfd.RHS)
+		for _, v := range vs {
+			t.Row(v.Row)[rhsIdx] = v.Expected
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// Assess produces a full scorecard in one pass. reference, timeCol and
+// cfds may be zero-valued to skip those dimensions (reported as NaN /
+// 1.0 respectively).
+func Assess(t *dataset.Table, reference *dataset.Table, keyCol, timeCol string, now time.Time, halfLife time.Duration, cfds []CFD) (Scorecard, error) {
+	sc := Scorecard{
+		Completeness: Completeness(t),
+		Accuracy:     math.NaN(),
+		Timeliness:   math.NaN(),
+		Consistency:  1,
+		Rows:         t.Len(),
+	}
+	if reference != nil && keyCol != "" {
+		sc.Accuracy = Accuracy(t, reference, keyCol)
+	}
+	if timeCol != "" {
+		sc.Timeliness = Timeliness(t, timeCol, now, halfLife)
+	}
+	if len(cfds) > 0 {
+		c, err := Consistency(t, cfds)
+		if err != nil {
+			return sc, err
+		}
+		sc.Consistency = c
+	}
+	return sc, nil
+}

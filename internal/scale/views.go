@@ -1,0 +1,219 @@
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// This file implements incremental precomputation in the spirit of
+// Armbrust et al. [2] ("generalized scale independence through
+// incremental precomputation", cited in §4.3): query results are
+// materialised once and then maintained under row-level deltas with work
+// proportional to the delta, not the data. Two view shapes cover the
+// wrangling workloads: selection views (the rows a context cares about)
+// and group-count views (per-key statistics used by quality analyses).
+
+// Delta is one row-level change to a base table.
+type Delta struct {
+	Insert bool // true = insert, false = delete
+	Row    dataset.Record
+}
+
+// SelectionView materialises σ_pred(T) and maintains it under deltas.
+// Rows are tracked by their full-record key, so deletes remove one
+// matching occurrence.
+type SelectionView struct {
+	mu      sync.Mutex
+	pred    func(dataset.Record) bool
+	schema  dataset.Schema
+	rows    []dataset.Record
+	byKey   map[string][]int // record key -> positions in rows (may be stale)
+	work    int
+	applied int
+}
+
+// NewSelectionView materialises the predicate over the base table.
+func NewSelectionView(base *dataset.Table, pred func(dataset.Record) bool) *SelectionView {
+	v := &SelectionView{pred: pred, schema: base.Schema().Clone(), byKey: map[string][]int{}}
+	for _, r := range base.Rows() {
+		v.work++
+		if pred(r) {
+			v.add(r.Clone())
+		}
+	}
+	return v
+}
+
+func (v *SelectionView) add(r dataset.Record) {
+	k := recordKey(r)
+	v.byKey[k] = append(v.byKey[k], len(v.rows))
+	v.rows = append(v.rows, r)
+}
+
+// Apply maintains the view under one delta in O(1) expected work.
+func (v *SelectionView) Apply(d Delta) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.applied++
+	v.work++
+	if !v.pred(d.Row) {
+		return
+	}
+	if d.Insert {
+		v.add(d.Row.Clone())
+		return
+	}
+	// Delete one occurrence: swap-remove the last tracked position.
+	k := recordKey(d.Row)
+	positions := v.byKey[k]
+	// Positions may be stale after earlier swap-removes; validate.
+	for len(positions) > 0 {
+		pos := positions[len(positions)-1]
+		positions = positions[:len(positions)-1]
+		if pos < len(v.rows) && recordKey(v.rows[pos]) == k {
+			last := len(v.rows) - 1
+			moved := v.rows[last]
+			v.rows[pos] = moved
+			v.rows = v.rows[:last]
+			if pos < last {
+				mk := recordKey(moved)
+				v.byKey[mk] = append(v.byKey[mk], pos)
+			}
+			break
+		}
+	}
+	if len(positions) == 0 {
+		delete(v.byKey, k)
+	} else {
+		v.byKey[k] = positions
+	}
+}
+
+// Rows returns a snapshot of the view contents.
+func (v *SelectionView) Rows() []dataset.Record {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]dataset.Record, len(v.rows))
+	copy(out, v.rows)
+	return out
+}
+
+// Len returns the current view cardinality.
+func (v *SelectionView) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.rows)
+}
+
+// Work returns rows touched since construction (initial scan + deltas).
+func (v *SelectionView) Work() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.work
+}
+
+func recordKey(r dataset.Record) string {
+	idx := make([]int, len(r))
+	for i := range idx {
+		idx[i] = i
+	}
+	return r.Key(idx...)
+}
+
+// GroupCountView materialises SELECT col, COUNT(*) GROUP BY col and
+// maintains it under deltas in O(1) per delta.
+type GroupCountView struct {
+	mu     sync.Mutex
+	col    int
+	counts map[string]int
+	rep    map[string]dataset.Value
+	work   int
+}
+
+// NewGroupCountView materialises the counts over the base table.
+func NewGroupCountView(base *dataset.Table, col string) (*GroupCountView, error) {
+	c := base.Schema().Index(col)
+	if c < 0 {
+		return nil, fmt.Errorf("scale: view column %q missing", col)
+	}
+	v := &GroupCountView{col: c, counts: map[string]int{}, rep: map[string]dataset.Value{}}
+	for _, r := range base.Rows() {
+		v.work++
+		v.bump(r, +1)
+	}
+	return v, nil
+}
+
+func (v *GroupCountView) bump(r dataset.Record, delta int) {
+	if v.col >= len(r) || r[v.col].IsNull() {
+		return
+	}
+	k := r[v.col].Key()
+	v.counts[k] += delta
+	if v.counts[k] <= 0 {
+		delete(v.counts, k)
+		delete(v.rep, k)
+		return
+	}
+	if _, ok := v.rep[k]; !ok {
+		v.rep[k] = r[v.col]
+	}
+}
+
+// Apply maintains the count under one delta.
+func (v *GroupCountView) Apply(d Delta) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.work++
+	if d.Insert {
+		v.bump(d.Row, +1)
+	} else {
+		v.bump(d.Row, -1)
+	}
+}
+
+// Count returns the current count for a value.
+func (v *GroupCountView) Count(val dataset.Value) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.counts[val.Key()]
+}
+
+// Groups returns (value, count) pairs sorted by descending count then
+// value key.
+func (v *GroupCountView) Groups() []struct {
+	Value dataset.Value
+	Count int
+} {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.counts))
+	for k := range v.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if v.counts[keys[i]] != v.counts[keys[j]] {
+			return v.counts[keys[i]] > v.counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]struct {
+		Value dataset.Value
+		Count int
+	}, len(keys))
+	for i, k := range keys {
+		out[i].Value = v.rep[k]
+		out[i].Count = v.counts[k]
+	}
+	return out
+}
+
+// Work returns rows touched since construction.
+func (v *GroupCountView) Work() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.work
+}

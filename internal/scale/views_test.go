@@ -1,0 +1,205 @@
+package scale
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func viewBase(n int) *dataset.Table {
+	t := dataset.NewTable(dataset.MustSchema(
+		dataset.Field{Name: "cat", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+	))
+	for i := 0; i < n; i++ {
+		t.AppendValues(dataset.String(fmt.Sprintf("cat-%d", i%10)), dataset.Float(float64(i%100)))
+	}
+	return t
+}
+
+func cheap(r dataset.Record) bool { return r[1].FloatVal() < 10 }
+
+func TestSelectionViewInitial(t *testing.T) {
+	base := viewBase(1000)
+	v := NewSelectionView(base, cheap)
+	want := base.Select(cheap).Len()
+	if v.Len() != want {
+		t.Errorf("view = %d rows, want %d", v.Len(), want)
+	}
+}
+
+func TestSelectionViewInsertDelete(t *testing.T) {
+	base := viewBase(100)
+	v := NewSelectionView(base, cheap)
+	before := v.Len()
+	row := dataset.Record{dataset.String("cat-x"), dataset.Float(5)}
+	v.Apply(Delta{Insert: true, Row: row})
+	if v.Len() != before+1 {
+		t.Fatalf("insert not reflected: %d", v.Len())
+	}
+	// Non-matching insert is a no-op.
+	v.Apply(Delta{Insert: true, Row: dataset.Record{dataset.String("cat-x"), dataset.Float(99)}})
+	if v.Len() != before+1 {
+		t.Fatal("non-matching insert changed the view")
+	}
+	v.Apply(Delta{Insert: false, Row: row})
+	if v.Len() != before {
+		t.Fatalf("delete not reflected: %d vs %d", v.Len(), before)
+	}
+	// Deleting a row that was never there is a no-op.
+	v.Apply(Delta{Insert: false, Row: dataset.Record{dataset.String("ghost"), dataset.Float(1)}})
+	if v.Len() != before {
+		t.Fatal("phantom delete changed the view")
+	}
+}
+
+func TestSelectionViewWorkIsDeltaProportional(t *testing.T) {
+	base := viewBase(100000)
+	v := NewSelectionView(base, cheap)
+	initialWork := v.Work()
+	for i := 0; i < 50; i++ {
+		v.Apply(Delta{Insert: true, Row: dataset.Record{dataset.String("c"), dataset.Float(1)}})
+	}
+	if v.Work()-initialWork != 50 {
+		t.Errorf("50 deltas cost %d work units, want 50", v.Work()-initialWork)
+	}
+}
+
+// Property: after a random delta stream, the view equals recomputation
+// from scratch.
+func TestSelectionViewEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed % 1000))
+		base := viewBase(60)
+		v := NewSelectionView(base, cheap)
+		// Shadow table that applies the same deltas by brute force.
+		shadow := base.Clone()
+		for step := 0; step < 60; step++ {
+			row := dataset.Record{
+				dataset.String(fmt.Sprintf("cat-%d", rng.Intn(5))),
+				dataset.Float(float64(rng.Intn(20))),
+			}
+			if rng.Intn(3) > 0 { // bias to inserts
+				v.Apply(Delta{Insert: true, Row: row})
+				shadow.Append(row.Clone())
+			} else {
+				v.Apply(Delta{Insert: false, Row: row})
+				// brute-force delete one matching row from shadow
+				for i := 0; i < shadow.Len(); i++ {
+					if shadow.Row(i).Equal(row) {
+						rows := shadow.Rows()
+						rows[i] = rows[shadow.Len()-1]
+						// rebuild without last
+						nt := dataset.NewTable(shadow.Schema().Clone())
+						for j := 0; j < shadow.Len()-1; j++ {
+							nt.Append(rows[j].Clone())
+						}
+						shadow = nt
+						break
+					}
+				}
+			}
+		}
+		return v.Len() == shadow.Select(cheap).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupCountViewInitial(t *testing.T) {
+	base := viewBase(1000)
+	v, err := NewGroupCountView(base, "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count(dataset.String("cat-3")) != 100 {
+		t.Errorf("cat-3 = %d, want 100", v.Count(dataset.String("cat-3")))
+	}
+	if _, err := NewGroupCountView(base, "ghost"); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestGroupCountViewMaintenance(t *testing.T) {
+	base := viewBase(100)
+	v, _ := NewGroupCountView(base, "cat")
+	row := dataset.Record{dataset.String("cat-3"), dataset.Float(1)}
+	v.Apply(Delta{Insert: true, Row: row})
+	if v.Count(dataset.String("cat-3")) != 11 {
+		t.Errorf("after insert = %d, want 11", v.Count(dataset.String("cat-3")))
+	}
+	v.Apply(Delta{Insert: false, Row: row})
+	v.Apply(Delta{Insert: false, Row: row})
+	if v.Count(dataset.String("cat-3")) != 9 {
+		t.Errorf("after deletes = %d, want 9", v.Count(dataset.String("cat-3")))
+	}
+	// Null group values are ignored.
+	v.Apply(Delta{Insert: true, Row: dataset.Record{dataset.Null(), dataset.Float(1)}})
+	if v.Count(dataset.Null()) != 0 {
+		t.Error("null keys must not be counted")
+	}
+}
+
+func TestGroupCountViewGroupsSorted(t *testing.T) {
+	base := viewBase(100)
+	v, _ := NewGroupCountView(base, "cat")
+	v.Apply(Delta{Insert: true, Row: dataset.Record{dataset.String("cat-3"), dataset.Float(1)}})
+	groups := v.Groups()
+	if len(groups) != 10 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Value.Str() != "cat-3" || groups[0].Count != 11 {
+		t.Errorf("top group = %+v", groups[0])
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Count > groups[i-1].Count {
+			t.Fatal("groups not sorted")
+		}
+	}
+}
+
+func TestGroupCountViewDrainsGroup(t *testing.T) {
+	base := dataset.NewTable(dataset.MustSchema(dataset.Field{Name: "k", Kind: dataset.KindString}))
+	base.AppendValues(dataset.String("only"))
+	v, _ := NewGroupCountView(base, "k")
+	v.Apply(Delta{Insert: false, Row: dataset.Record{dataset.String("only")}})
+	if len(v.Groups()) != 0 {
+		t.Error("drained group should disappear")
+	}
+}
+
+// Property: group counts match brute-force recount after random deltas.
+func TestGroupCountEquivalenceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		base := viewBase(40)
+		v, _ := NewGroupCountView(base, "cat")
+		counts := map[string]int{}
+		for _, r := range base.Rows() {
+			counts[r[0].Str()]++
+		}
+		for _, op := range ops {
+			cat := fmt.Sprintf("cat-%d", op%10)
+			row := dataset.Record{dataset.String(cat), dataset.Float(0)}
+			if op%3 > 0 {
+				v.Apply(Delta{Insert: true, Row: row})
+				counts[cat]++
+			} else if counts[cat] > 0 {
+				v.Apply(Delta{Insert: false, Row: row})
+				counts[cat]--
+			}
+		}
+		for cat, n := range counts {
+			if v.Count(dataset.String(cat)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

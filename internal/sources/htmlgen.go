@@ -1,0 +1,167 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Template describes how an HTML source lays out its records. Listing
+// pages in the wild fall into recurring families (result tables, card
+// grids, definition lists); wrapper induction must recover the record
+// boundary and field positions from examples regardless of family, and
+// survive template drift — the "sites, site descriptions and contents that
+// are continually changing" of Example 1.
+type Template struct {
+	Family     string            // "table", "cards", "list"
+	ClassNames map[string]string // logical role -> CSS class (randomised)
+	Version    int               // bumped by Drift
+	WrapDepth  int               // extra wrapper divs added by Drift
+	rng        *rand.Rand
+}
+
+var classPools = map[string][]string{
+	"container": {"listing", "results", "catalog", "items", "content-main"},
+	"record":    {"product", "item", "result", "entry", "card"},
+	"field":     {"attr", "field", "val", "prop", "cell"},
+}
+
+// NewTemplate picks a random family and class vocabulary.
+func NewTemplate(rng *rand.Rand) *Template {
+	families := []string{"table", "cards", "list"}
+	t := &Template{
+		Family:     families[rng.Intn(len(families))],
+		ClassNames: map[string]string{},
+		rng:        rng,
+	}
+	t.ClassNames["container"] = pick(rng, classPools["container"])
+	t.ClassNames["record"] = pick(rng, classPools["record"])
+	t.ClassNames["field"] = pick(rng, classPools["field"])
+	return t
+}
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+// Drift mutates the template the way site redesigns do: it renames the
+// record class, occasionally switches family, and adds a wrapper div level.
+// Wrappers induced against the old version break and must be repaired
+// (experiment E3).
+func (t *Template) Drift(rng *rand.Rand) {
+	t.Version++
+	old := t.ClassNames["record"]
+	for t.ClassNames["record"] == old {
+		t.ClassNames["record"] = pick(rng, classPools["record"])
+	}
+	if rng.Float64() < 0.3 {
+		families := []string{"table", "cards", "list"}
+		t.Family = families[rng.Intn(len(families))]
+	}
+	if rng.Float64() < 0.5 {
+		t.WrapDepth++
+	}
+}
+
+// RenderPage renders a full listing page for the source's records.
+func (t *Template) RenderPage(s *Source) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(escape(s.ID))
+	b.WriteString(" catalog</title></head>\n<body>\n")
+	b.WriteString(`<div class="header"><h1>` + escape(s.ID) + ` listing</h1><p class="blurb">All offers updated daily.</p></div>` + "\n")
+	for i := 0; i < t.WrapDepth; i++ {
+		fmt.Fprintf(&b, `<div class="wrap-%d">`, i)
+	}
+	switch t.Family {
+	case "table":
+		t.renderTable(&b, s)
+	case "cards":
+		t.renderCards(&b, s)
+	default:
+		t.renderList(&b, s)
+	}
+	for i := 0; i < t.WrapDepth; i++ {
+		b.WriteString("</div>")
+	}
+	b.WriteString("\n<div class=\"footer\">generated listing &copy; example</div>\n</body></html>\n")
+	return b.String()
+}
+
+func (t *Template) renderTable(b *strings.Builder, s *Source) {
+	fmt.Fprintf(b, `<table class="%s" id="tbl">`+"\n<tr>", t.ClassNames["container"])
+	for _, p := range s.Props {
+		fmt.Fprintf(b, `<th class="hdr">%s</th>`, escape(s.Header(p)))
+	}
+	b.WriteString("</tr>\n")
+	for _, r := range s.Records {
+		fmt.Fprintf(b, `<tr class="%s">`, t.ClassNames["record"])
+		for _, p := range s.Props {
+			fmt.Fprintf(b, `<td class="%s %s-%s">%s</td>`, t.ClassNames["field"], t.ClassNames["field"], cssSafe(s.Header(p)), escape(r.Values[p]))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>")
+}
+
+func (t *Template) renderCards(b *strings.Builder, s *Source) {
+	fmt.Fprintf(b, `<div class="%s">`+"\n", t.ClassNames["container"])
+	for _, r := range s.Records {
+		fmt.Fprintf(b, `<div class="%s">`, t.ClassNames["record"])
+		for _, p := range s.Props {
+			fmt.Fprintf(b, `<span class="%s %s-%s"><b>%s:</b> %s</span>`,
+				t.ClassNames["field"], t.ClassNames["field"], cssSafe(s.Header(p)), escape(s.Header(p)), escape(r.Values[p]))
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</div>")
+}
+
+func (t *Template) renderList(b *strings.Builder, s *Source) {
+	fmt.Fprintf(b, `<ul class="%s">`+"\n", t.ClassNames["container"])
+	for _, r := range s.Records {
+		fmt.Fprintf(b, `<li class="%s"><dl>`, t.ClassNames["record"])
+		for _, p := range s.Props {
+			fmt.Fprintf(b, `<dt>%s</dt><dd class="%s %s-%s">%s</dd>`,
+				escape(s.Header(p)), t.ClassNames["field"], t.ClassNames["field"], cssSafe(s.Header(p)), escape(r.Values[p]))
+		}
+		b.WriteString("</dl></li>\n")
+	}
+	b.WriteString("</ul>")
+}
+
+// RenderDetailPage renders record i of the source as a standalone detail
+// page (one entity per page, the business-homepage shape of Example 3).
+// Boilerplate (site navigation, footer) is constant across the site's
+// pages so that cross-page induction can separate it from fields.
+func (t *Template) RenderDetailPage(s *Source, i int) string {
+	if i < 0 || i >= len(s.Records) {
+		return ""
+	}
+	r := s.Records[i]
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(escape(s.ID))
+	b.WriteString(" detail</title></head>\n<body>\n")
+	b.WriteString(`<div class="nav"><a href="/">home</a> | <a href="/all">catalog</a> | <span class="brandline">` + escape(s.ID) + ` official site</span></div>` + "\n")
+	fmt.Fprintf(&b, `<div class="%s-detail"><dl>`, t.ClassNames["record"])
+	for _, p := range s.Props {
+		fmt.Fprintf(&b, `<dt>%s</dt><dd class="%s %s-%s">%s</dd>`,
+			escape(s.Header(p)), t.ClassNames["field"], t.ClassNames["field"], cssSafe(s.Header(p)), escape(r.Values[p]))
+	}
+	b.WriteString("</dl></div>\n")
+	b.WriteString(`<div class="footer">All rights reserved. Contact us for wholesale pricing.</div>` + "\n</body></html>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func cssSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+			return r
+		}
+		return '-'
+	}, s)
+}

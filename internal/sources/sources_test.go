@@ -1,0 +1,318 @@
+package sources
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/html"
+)
+
+func TestNewWorldDeterministic(t *testing.T) {
+	w1 := NewWorld(7, 50, 20)
+	w2 := NewWorld(7, 50, 20)
+	if len(w1.Products) != 50 || len(w1.Businesses) != 20 {
+		t.Fatalf("world sizes wrong: %d/%d", len(w1.Products), len(w1.Businesses))
+	}
+	for i := range w1.Products {
+		if w1.Products[i] != w2.Products[i] {
+			t.Fatal("worlds with same seed differ")
+		}
+	}
+	w3 := NewWorld(8, 50, 20)
+	same := true
+	for i := range w1.Products {
+		if w1.Products[i] != w3.Products[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestWorldLookups(t *testing.T) {
+	w := NewWorld(1, 10, 5)
+	p := w.Product("SKU-00003")
+	if p == nil || p.SKU != "SKU-00003" {
+		t.Fatal("Product lookup failed")
+	}
+	if w.Product("SKU-99999") != nil {
+		t.Error("unknown SKU should be nil")
+	}
+	b := w.Business("BIZ-00002")
+	if b == nil || b.ID != "BIZ-00002" {
+		t.Fatal("Business lookup failed")
+	}
+}
+
+func TestEvolveAndPriceAt(t *testing.T) {
+	w := NewWorld(2, 100, 0)
+	orig := w.Products[0].Price
+	var changed []string
+	for i := 0; i < 5; i++ {
+		changed = append(changed, w.Evolve(0.5)...)
+	}
+	if w.Clock != 5 {
+		t.Errorf("clock = %d, want 5", w.Clock)
+	}
+	if len(changed) == 0 {
+		t.Fatal("churn of 0.5 over 5 steps should change something")
+	}
+	// PriceAt(clock 0) must return the original price.
+	p0, ok := w.PriceAt("SKU-00000", 0)
+	if !ok || p0 != orig {
+		t.Errorf("PriceAt(0) = %f, want %f", p0, orig)
+	}
+	// PriceAt at current clock must equal the live price.
+	pn, _ := w.PriceAt("SKU-00000", w.Clock)
+	if pn != w.Products[0].Price {
+		t.Errorf("PriceAt(now) = %f, want %f", pn, w.Products[0].Price)
+	}
+	if _, ok := w.PriceAt("nope", 0); ok {
+		t.Error("unknown SKU should not resolve")
+	}
+}
+
+func TestGenerateUniverse(t *testing.T) {
+	w := NewWorld(3, 200, 0)
+	cfg := DefaultConfig(3, 12)
+	u := Generate(w, cfg)
+	if len(u.Sources) != 12 {
+		t.Fatalf("sources = %d, want 12", len(u.Sources))
+	}
+	kinds := map[Kind]int{}
+	for _, s := range u.Sources {
+		kinds[s.Kind]++
+		if len(s.Records) == 0 {
+			t.Errorf("source %s has no records", s.ID)
+		}
+		if len(s.Props) < 3 {
+			t.Errorf("source %s has too few props", s.ID)
+		}
+		if s.Kind == KindHTML && s.Template == nil {
+			t.Errorf("html source %s missing template", s.ID)
+		}
+		for _, p := range []string{"sku", "name", "price"} {
+			found := false
+			for _, sp := range s.Props {
+				if sp == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("source %s missing mandatory prop %s", s.ID, p)
+			}
+		}
+	}
+	if len(kinds) < 2 {
+		t.Errorf("universe should mix formats, got %v", kinds)
+	}
+	if u.Source("src-003") == nil || u.Source("zz") != nil {
+		t.Error("Source lookup wrong")
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	w1 := NewWorld(5, 100, 0)
+	w2 := NewWorld(5, 100, 0)
+	u1 := Generate(w1, DefaultConfig(5, 6))
+	u2 := Generate(w2, DefaultConfig(5, 6))
+	for i := range u1.Sources {
+		if u1.Sources[i].Payload() != u2.Sources[i].Payload() {
+			t.Fatalf("source %d payloads differ across identical seeds", i)
+		}
+	}
+}
+
+func TestCSVPayloadParses(t *testing.T) {
+	w := NewWorld(4, 100, 0)
+	cfg := DefaultConfig(4, 8)
+	cfg.CSVShare, cfg.JSONShare, cfg.HTMLShare = 1, 0, 0
+	u := Generate(w, cfg)
+	s := u.Sources[0]
+	tab, err := dataset.ReadCSV(strings.NewReader(s.Payload()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != len(s.Records) {
+		t.Errorf("parsed %d rows, want %d", tab.Len(), len(s.Records))
+	}
+	if len(tab.Schema()) != len(s.Props) {
+		t.Errorf("parsed %d cols, want %d", len(tab.Schema()), len(s.Props))
+	}
+}
+
+func TestJSONPayloadParses(t *testing.T) {
+	w := NewWorld(4, 100, 0)
+	cfg := DefaultConfig(4, 8)
+	cfg.CSVShare, cfg.JSONShare, cfg.HTMLShare = 0, 1, 0
+	u := Generate(w, cfg)
+	s := u.Sources[0]
+	tab, err := dataset.ReadJSON(strings.NewReader(s.Payload()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != len(s.Records) {
+		t.Errorf("parsed %d rows, want %d", tab.Len(), len(s.Records))
+	}
+}
+
+func TestHTMLPayloadParses(t *testing.T) {
+	w := NewWorld(4, 100, 0)
+	cfg := DefaultConfig(4, 8)
+	cfg.CSVShare, cfg.JSONShare, cfg.HTMLShare = 0, 0, 1
+	u := Generate(w, cfg)
+	for _, s := range u.Sources[:3] {
+		root := html.Parse(s.Payload())
+		sel := html.MustCompile("." + s.Template.ClassNames["record"])
+		recs := sel.Find(root)
+		if len(recs) != len(s.Records) {
+			t.Errorf("source %s (%s family): %d record nodes, want %d",
+				s.ID, s.Template.Family, len(recs), len(s.Records))
+		}
+	}
+}
+
+func TestErrorInjectionRates(t *testing.T) {
+	w := NewWorld(6, 500, 0)
+	for i := 0; i < 30; i++ {
+		w.Evolve(0.2) // build price history so staleness is possible
+	}
+	cfg := DefaultConfig(6, 10)
+	cfg.Errors = ErrorRates{Typo: 0.5, Null: 0.2, Wrong: 0.2, Unit: 0.1, Stale: 0.5, Fantasy: 0.1}
+	cfg.CleanShare = 0
+	cfg.DirtyFactor = 1.0001 // quality factor in [0.3, 1]
+	u := Generate(w, cfg)
+	counts := map[ErrorKind]int{}
+	total := 0
+	for _, s := range u.Sources {
+		for _, r := range s.Records {
+			total++
+			for _, k := range r.Errors {
+				counts[k]++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no records")
+	}
+	for _, k := range []ErrorKind{ErrTypo, ErrNull, ErrStale, ErrFantasy} {
+		if counts[k] == 0 {
+			t.Errorf("error kind %s never injected (counts=%v)", k, counts)
+		}
+	}
+}
+
+func TestCleanSourceHasNoInjectedErrors(t *testing.T) {
+	w := NewWorld(7, 200, 0)
+	cfg := DefaultConfig(7, 5)
+	cfg.CleanShare = 1 // every source curated
+	cfg.StaleMax = 0   // and fresh
+	u := Generate(w, cfg)
+	for _, s := range u.Sources {
+		if s.QualityFactor != 0 {
+			t.Fatalf("source %s quality factor = %f, want 0", s.ID, s.QualityFactor)
+		}
+		for _, r := range s.Records {
+			if len(r.Errors) > 0 {
+				t.Fatalf("clean source %s has error %v", s.ID, r.Errors)
+			}
+		}
+	}
+}
+
+func TestLocationUniverse(t *testing.T) {
+	w := NewWorld(8, 0, 150)
+	cfg := DefaultConfig(8, 6)
+	cfg.Domain = DomainLocations
+	u := Generate(w, cfg)
+	for _, s := range u.Sources {
+		if s.Domain != DomainLocations {
+			t.Fatal("wrong domain")
+		}
+		if len(s.Records) == 0 {
+			t.Errorf("source %s empty", s.ID)
+		}
+		for _, p := range []string{"name", "street", "city"} {
+			found := false
+			for _, sp := range s.Props {
+				if sp == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("location source missing %s", p)
+			}
+		}
+	}
+}
+
+func TestTemplateDriftChangesMarkup(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := NewWorld(9, 100, 0)
+	cfg := DefaultConfig(9, 3)
+	cfg.CSVShare, cfg.JSONShare, cfg.HTMLShare = 0, 0, 1
+	u := Generate(w, cfg)
+	s := u.Sources[0]
+	before := s.Template.ClassNames["record"]
+	page1 := s.Payload()
+	s.Template.Drift(rng)
+	page2 := s.Payload()
+	if s.Template.ClassNames["record"] == before {
+		t.Error("drift must rename record class")
+	}
+	if page1 == page2 {
+		t.Error("drift should change markup")
+	}
+	if s.Template.Version != 1 {
+		t.Error("version should bump")
+	}
+	// Old selector must now fail.
+	root := html.Parse(page2)
+	old := html.MustCompile("." + before).Find(root)
+	if len(old) == len(s.Records) {
+		t.Error("old record class should no longer select records")
+	}
+}
+
+func TestRefreshUpdatesSnapshot(t *testing.T) {
+	w := NewWorld(10, 150, 0)
+	cfg := DefaultConfig(10, 4)
+	cfg.StaleMax = 0
+	u := Generate(w, cfg)
+	s := u.Sources[0]
+	for i := 0; i < 10; i++ {
+		w.Evolve(0.5)
+	}
+	refreshed := u.Refresh(s.ID)
+	if refreshed == nil || refreshed.SnapshotClock != w.Clock {
+		t.Fatalf("refresh snapshot clock = %d, want %d", refreshed.SnapshotClock, w.Clock)
+	}
+	if u.Refresh("nope") != nil {
+		t.Error("unknown source refresh should be nil")
+	}
+}
+
+func TestEmittedRecordClean(t *testing.T) {
+	r := EmittedRecord{TrueID: "x", Errors: map[string]ErrorKind{}}
+	if !r.Clean() {
+		t.Error("no errors should be clean")
+	}
+	r.Errors["price"] = ErrStale
+	if r.Clean() {
+		t.Error("with errors should not be clean")
+	}
+	f := EmittedRecord{TrueID: "", Errors: map[string]ErrorKind{}}
+	if f.Clean() {
+		t.Error("fantasy should not be clean")
+	}
+}
+
+func TestAsOfMonotone(t *testing.T) {
+	if !AsOf(5).After(AsOf(4)) {
+		t.Error("AsOf should be monotone in clock")
+	}
+}
