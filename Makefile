@@ -1,0 +1,20 @@
+# Mirrors the tier-1 verify command and CI. Plain `go` invocations work
+# identically; this is convenience only.
+
+GO ?= go
+
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,5 +1,6 @@
 // Command experiments runs every experiment in the reproduction's
-// experiment index (DESIGN.md §3) and prints the paper-style tables.
+// experiment index (see README.md and the repro/wrangle/experiments docs)
+// and prints the paper-style tables.
 //
 // Usage:
 //
@@ -12,7 +13,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/wrangle/experiments"
 )
 
 func main() {

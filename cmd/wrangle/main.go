@@ -1,7 +1,8 @@
 // Command wrangle generates a synthetic source universe and runs the full
 // Figure-1 wrangling pipeline over it under a chosen user context,
 // printing the wrangled data preview, the per-source selection report and
-// the ground-truth evaluation.
+// the ground-truth evaluation. It is a thin CLI over the public
+// repro/wrangle package.
 //
 // Usage:
 //
@@ -11,17 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
-	"repro/internal/context"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/ontology"
-	"repro/internal/report"
-	"repro/internal/sources"
+	"repro/wrangle"
+	"repro/wrangle/synth"
 )
 
 func main() {
@@ -33,43 +31,55 @@ func main() {
 	csvOut := flag.String("csv", "", "write wrangled table as CSV to this file")
 	flag.Parse()
 
-	var u *sources.Universe
-	var cfg core.Config
-	dc := context.NewDataContext()
+	opts := []wrangle.Option{wrangle.WithSourceBudget(*maxSources)}
+	var u *synth.Universe
 	switch *domain {
 	case "locations":
-		world := sources.NewWorld(*seed, 0, 300)
-		scfg := sources.DefaultConfig(*seed, *nSources)
-		scfg.Domain = sources.DomainLocations
-		u = sources.Generate(world, scfg)
-		cfg = core.LocationConfig()
-		dc.WithTaxonomy(ontology.LocationTaxonomy())
-	default:
-		world := sources.NewWorld(*seed, 300, 0)
+		world := synth.NewWorld(*seed, 0, 300)
+		scfg := synth.DefaultConfig(*seed, *nSources)
+		scfg.Domain = synth.DomainLocations
+		u = synth.Generate(world, scfg)
+		opts = append(opts, wrangle.WithDomain(wrangle.Locations))
+	case "products":
+		world := synth.NewWorld(*seed, 300, 0)
 		for i := 0; i < 24; i++ {
 			world.Evolve(0.15)
 		}
-		u = sources.Generate(world, sources.DefaultConfig(*seed, *nSources))
-		cfg = core.ProductConfig()
-		dc.WithTaxonomy(ontology.ProductTaxonomy()).WithMaster(masterData(u, 120), "sku")
+		u = synth.Generate(world, synth.DefaultConfig(*seed, *nSources))
+		opts = append(opts,
+			wrangle.WithDomain(wrangle.Products),
+			wrangle.WithMasterData(masterData(u, 120), "sku"))
+	default:
+		fmt.Fprintf(os.Stderr, "wrangle: unknown domain %q (want products or locations)\n", *domain)
+		os.Exit(2)
 	}
+	opts = append(opts, wrangle.WithProvider(u))
 
-	uc, err := userContext(*ctxName, *maxSources)
+	ucOpt, ucName, err := userContext(*ctxName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	w := core.New(u, cfg, uc, dc)
-	out, err := w.Run()
+	if ucOpt != nil {
+		opts = append(opts, ucOpt)
+	}
+
+	s, err := wrangle.New(opts...)
+	if err != nil {
+		// Package errors already carry the "wrangle:" prefix.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	out, err := s.Run(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wrangle:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("universe: %d sources (%s), world clock %d\n", len(u.Sources), *domain, u.World.Clock)
-	fmt.Printf("context:  %s (max sources %d)\n\n", uc.Name, uc.MaxSources)
+	fmt.Printf("context:  %s (max sources %d)\n\n", ucName, *maxSources)
 	fmt.Println("-- source selection --")
-	snap := w.Snapshot()
+	snap := s.Snapshot()
 	ids := make([]string, 0, len(snap))
 	for id := range snap {
 		ids = append(ids, id)
@@ -89,7 +99,7 @@ func main() {
 
 	// The Example-5 report: conflicted lines are where reviewer feedback
 	// pays off first.
-	rep := report.Build(w, "price intelligence", []string{"price"})
+	rep := s.Report("price intelligence", "price")
 	sum := rep.Summarise()
 	fmt.Printf("\n-- price report: %d lines, %d conflicted, mean confidence %.2f --\n",
 		sum.Lines, sum.Conflicts, sum.MeanConfidence)
@@ -104,13 +114,12 @@ func main() {
 		}
 	}
 
+	ev := s.Evaluate()
 	switch *domain {
 	case "locations":
-		ev := w.EvaluateLocations()
 		fmt.Printf("\nevaluation: precision=%.3f recall=%.3f street-accuracy=%.3f\n",
 			ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy)
 	default:
-		ev := w.EvaluateProducts()
 		fmt.Printf("\nevaluation: precision=%.3f recall=%.3f name-acc=%.3f price-acc=%.3f mean-price-err=%.3f\n",
 			ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy, ev.PriceAccuracy, ev.MeanPriceError)
 	}
@@ -122,7 +131,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := dataset.WriteCSV(f, out); err != nil {
+		if err := wrangle.WriteCSV(f, out); err != nil {
 			fmt.Fprintln(os.Stderr, "wrangle:", err)
 			os.Exit(1)
 		}
@@ -130,43 +139,42 @@ func main() {
 	}
 }
 
-func userContext(name string, maxSources int) (*context.UserContext, error) {
+// userContext maps a CLI context name to a session option. "balanced" is
+// the session default (nil option).
+func userContext(name string) (wrangle.Option, string, error) {
 	switch name {
 	case "balanced":
-		return &context.UserContext{Name: "balanced", MaxSources: maxSources,
-			Weights: map[context.Criterion]float64{
-				context.Accuracy: 0.25, context.Completeness: 0.25,
-				context.Timeliness: 0.25, context.Relevance: 0.25,
-			}}, nil
+		return nil, "balanced", nil
 	case "routine":
-		ahp, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
-		ahp.Set(context.Accuracy, context.Completeness, 5)
-		ahp.Set(context.Timeliness, context.Completeness, 4)
-		ahp.Set(context.Accuracy, context.Timeliness, 1)
-		return context.BuildUserContext("routine price comparison", ahp, maxSources, 0)
+		ahp, _ := wrangle.NewAHP(wrangle.Accuracy, wrangle.Timeliness, wrangle.Completeness)
+		ahp.Set(wrangle.Accuracy, wrangle.Completeness, 5)
+		ahp.Set(wrangle.Timeliness, wrangle.Completeness, 4)
+		ahp.Set(wrangle.Accuracy, wrangle.Timeliness, 1)
+		return wrangle.WithAHPWeights("routine price comparison", ahp), "routine price comparison", nil
 	case "investigation":
-		ahp, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
-		ahp.Set(context.Completeness, context.Accuracy, 5)
-		ahp.Set(context.Completeness, context.Timeliness, 5)
-		return context.BuildUserContext("issue investigation", ahp, maxSources, 0)
+		ahp, _ := wrangle.NewAHP(wrangle.Accuracy, wrangle.Timeliness, wrangle.Completeness)
+		ahp.Set(wrangle.Completeness, wrangle.Accuracy, 5)
+		ahp.Set(wrangle.Completeness, wrangle.Timeliness, 5)
+		return wrangle.WithAHPWeights("issue investigation", ahp), "issue investigation", nil
 	default:
-		return nil, fmt.Errorf("wrangle: unknown context %q", name)
+		return nil, "", fmt.Errorf("wrangle: unknown context %q", name)
 	}
 }
 
-func masterData(u *sources.Universe, n int) *dataset.Table {
-	t := dataset.NewTable(dataset.MustSchema(
-		dataset.Field{Name: "sku", Kind: dataset.KindString},
-		dataset.Field{Name: "name", Kind: dataset.KindString},
-		dataset.Field{Name: "brand", Kind: dataset.KindString},
-		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+func masterData(u *synth.Universe, n int) *wrangle.Table {
+	t := wrangle.NewTable(wrangle.MustSchema(
+		wrangle.Field{Name: "sku", Kind: wrangle.KindString},
+		wrangle.Field{Name: "name", Kind: wrangle.KindString},
+		wrangle.Field{Name: "brand", Kind: wrangle.KindString},
+		wrangle.Field{Name: "price", Kind: wrangle.KindFloat},
 	))
 	for i, p := range u.World.Products {
 		if i >= n {
 			break
 		}
 		price, _ := u.World.PriceAt(p.SKU, u.World.Clock)
-		t.AppendValues(dataset.String(p.SKU), dataset.String(p.Name), dataset.String(p.Brand), dataset.Float(price))
+		t.AppendValues(wrangle.String(p.SKU), wrangle.String(p.Name),
+			wrangle.String(p.Brand), wrangle.Float(price))
 	}
 	return t
 }

@@ -6,9 +6,14 @@
 // The paper is a vision paper; this repository builds the architecture it
 // proposes (Figure 1) together with every substrate it depends on and the
 // baselines it argues against, plus an experiment harness that tests each
-// of the paper's measurable claims. Start at internal/core (the
-// orchestrator), DESIGN.md (system inventory and experiment index) and
-// EXPERIMENTS.md (paper-claim vs measured outcome).
+// of the paper's measurable claims.
+//
+// Start at repro/wrangle — the public facade (sessions, functional
+// options, pluggable source providers) and the only supported import
+// surface; everything under internal/ is free to churn. README.md holds
+// the quickstart and CLI usage, ROADMAP.md the north star and open
+// items, and repro/wrangle/experiments the paper-claim experiment index
+// that cmd/experiments prints.
 //
 // The root package holds the benchmark suite (bench_test.go): one
 // testing.B benchmark per experiment, regenerating the tables that

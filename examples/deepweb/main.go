@@ -10,30 +10,29 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/extract"
-	"repro/internal/html"
-	"repro/internal/ontology"
-	"repro/internal/sources"
+	"repro/wrangle"
+	"repro/wrangle/extract"
+	"repro/wrangle/synth"
 )
 
 func main() {
-	world := sources.NewWorld(23, 120, 0)
-	cfg := sources.DefaultConfig(23, 3)
+	world := synth.NewWorld(23, 120, 0)
+	cfg := synth.DefaultConfig(23, 3)
 	cfg.CSVShare, cfg.JSONShare, cfg.HTMLShare = 0, 0, 1
 	cfg.CleanShare = 1
 	cfg.StaleMax = 0
-	universe := sources.Generate(world, cfg)
+	universe := synth.Generate(world, cfg)
 	site := universe.Sources[0]
 
 	// Render the site: one detail page per product.
-	pages := make([]*html.Node, 0, len(site.Records))
+	pages := make([]*extract.Node, 0, len(site.Records))
 	for i := range site.Records {
-		pages = append(pages, html.Parse(site.Template.RenderDetailPage(site, i)))
+		pages = append(pages, extract.Parse(site.Template.RenderDetailPage(site, i)))
 	}
 	fmt.Printf("site %s publishes %d detail pages\n", site.ID, len(pages))
 
 	// Induce from the first five pages only.
-	wrapper, err := extract.InduceDetail(site.ID, pages[:5], ontology.ProductTaxonomy())
+	wrapper, err := extract.InduceDetail(site.ID, pages[:5], wrangle.ProductTaxonomy())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,29 +7,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/context"
-	"repro/internal/core"
-	"repro/internal/ontology"
-	"repro/internal/sources"
+	"repro/wrangle"
+	"repro/wrangle/synth"
 )
 
 func main() {
 	// 300 businesses; 10 sources of mixed quality — think one noisy
 	// check-in feed plus directory sites and business homepages.
-	world := sources.NewWorld(11, 0, 300)
-	cfg := sources.DefaultConfig(11, 10)
-	cfg.Domain = sources.DomainLocations
+	world := synth.NewWorld(11, 0, 300)
+	cfg := synth.DefaultConfig(11, 10)
+	cfg.Domain = synth.DomainLocations
 	cfg.Errors.Geo = 0.15  // wrong geo-locations (Example 3)
 	cfg.Errors.Typo = 0.12 // misspelled places
 	cfg.Errors.Fantasy = 0.04
-	universe := sources.Generate(world, cfg)
+	universe := synth.Generate(world, cfg)
 
-	dataCtx := context.NewDataContext().WithTaxonomy(ontology.LocationTaxonomy())
-	w := core.New(universe, core.LocationConfig(), nil, dataCtx)
-	wrangled, err := w.Run()
+	s, err := wrangle.New(
+		wrangle.WithDomain(wrangle.Locations),
+		wrangle.WithProvider(universe),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrangled, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +45,7 @@ func main() {
 	}
 	fmt.Println(preview.String())
 
-	ev := w.EvaluateLocations()
+	ev := s.Evaluate()
 	fmt.Printf("\nagainst ground truth: precision=%.2f recall=%.2f street-accuracy=%.2f\n",
 		ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy)
 	fmt.Println("\n(street accuracy reflects fusion outvoting per-source typos and geo errors;")

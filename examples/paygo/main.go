@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/experiments"
+	"repro/wrangle/experiments"
 )
 
 func main() {

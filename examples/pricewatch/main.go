@@ -15,98 +15,110 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/context"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/feedback"
-	"repro/internal/ontology"
-	"repro/internal/sources"
+	"repro/wrangle"
+	"repro/wrangle/synth"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Volume + velocity: 250 products, 18 sources, 36 hours of churn.
-	world := sources.NewWorld(7, 250, 0)
+	world := synth.NewWorld(7, 250, 0)
 	for i := 0; i < 36; i++ {
 		world.Evolve(0.12)
 	}
-	cfg := sources.DefaultConfig(7, 18)
+	cfg := synth.DefaultConfig(7, 18)
 	cfg.StaleMax = 36
-	universe := sources.Generate(world, cfg)
+	universe := synth.Generate(world, cfg)
 
-	// Data context: master catalog (the company's own data) + ontology.
-	master := dataset.NewTable(dataset.MustSchema(
-		dataset.Field{Name: "sku", Kind: dataset.KindString},
-		dataset.Field{Name: "name", Kind: dataset.KindString},
-		dataset.Field{Name: "brand", Kind: dataset.KindString},
-		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+	// Data context: master catalog (the company's own data, Example 4).
+	// The product ontology is the session's domain default.
+	master := wrangle.NewTable(wrangle.MustSchema(
+		wrangle.Field{Name: "sku", Kind: wrangle.KindString},
+		wrangle.Field{Name: "name", Kind: wrangle.KindString},
+		wrangle.Field{Name: "brand", Kind: wrangle.KindString},
+		wrangle.Field{Name: "price", Kind: wrangle.KindFloat},
 	))
 	for i, p := range world.Products {
 		if i >= 120 {
 			break
 		}
 		price, _ := world.PriceAt(p.SKU, world.Clock)
-		master.AppendValues(dataset.String(p.SKU), dataset.String(p.Name), dataset.String(p.Brand), dataset.Float(price))
+		master.AppendValues(wrangle.String(p.SKU), wrangle.String(p.Name),
+			wrangle.String(p.Brand), wrangle.Float(price))
 	}
-	dataCtx := context.NewDataContext().
-		WithMaster(master, "sku").
-		WithTaxonomy(ontology.ProductTaxonomy())
 
 	// User context 1 — routine price comparison (Example 2): accuracy and
 	// timeliness dominate, small source budget.
-	routineAHP, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
-	routineAHP.Set(context.Accuracy, context.Completeness, 5)
-	routineAHP.Set(context.Timeliness, context.Completeness, 4)
-	routineAHP.Set(context.Accuracy, context.Timeliness, 1)
-	routine, err := context.BuildUserContext("routine price comparison", routineAHP, 6, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
+	routineAHP, _ := wrangle.NewAHP(wrangle.Accuracy, wrangle.Timeliness, wrangle.Completeness)
+	routineAHP.Set(wrangle.Accuracy, wrangle.Completeness, 5)
+	routineAHP.Set(wrangle.Timeliness, wrangle.Completeness, 4)
+	routineAHP.Set(wrangle.Accuracy, wrangle.Timeliness, 1)
 
 	// User context 2 — issue investigation: completeness first.
-	invAHP, _ := context.NewAHP(context.Accuracy, context.Timeliness, context.Completeness)
-	invAHP.Set(context.Completeness, context.Accuracy, 5)
-	invAHP.Set(context.Completeness, context.Timeliness, 5)
-	investigation, err := context.BuildUserContext("issue investigation", invAHP, 0, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
+	invAHP, _ := wrangle.NewAHP(wrangle.Accuracy, wrangle.Timeliness, wrangle.Completeness)
+	invAHP.Set(wrangle.Completeness, wrangle.Accuracy, 5)
+	invAHP.Set(wrangle.Completeness, wrangle.Timeliness, 5)
 
-	for _, uc := range []*context.UserContext{routine, investigation} {
-		w := core.New(universe, core.ProductConfig(), uc, dataCtx)
-		if _, err := w.Run(); err != nil {
+	session := func(name string, ahp *wrangle.AHP, maxSources int) *wrangle.Session {
+		s, err := wrangle.New(
+			wrangle.WithDomain(wrangle.Products),
+			wrangle.WithProvider(universe),
+			wrangle.WithMasterData(master, "sku"),
+			wrangle.WithAHPWeights(name, ahp),
+			wrangle.WithSourceBudget(maxSources),
+		)
+		if err != nil {
 			log.Fatal(err)
 		}
-		ev := w.EvaluateProducts()
+		return s
+	}
+
+	for _, sc := range []struct {
+		name string
+		ahp  *wrangle.AHP
+		max  int
+	}{
+		{"routine price comparison", routineAHP, 6},
+		{"issue investigation", invAHP, 0},
+	} {
+		s := session(sc.name, sc.ahp, sc.max)
+		if _, err := s.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+		ev := s.Evaluate()
 		fmt.Printf("context %-28s sources=%-2d entities=%-4d recall=%.2f price-acc=%.2f\n",
-			uc.Name, len(w.SelectedSources()), ev.Entities, ev.EntityRecall, ev.PriceAccuracy)
+			sc.name, len(s.SelectedSources()), ev.Entities, ev.EntityRecall, ev.PriceAccuracy)
 	}
 
 	// Pay-as-you-go (Example 5): the analyst reviews a price report, finds
 	// values from one source wrong, annotates them; the system downgrades
 	// that source's trust and refuses — without re-extracting anything.
 	fmt.Println("\n-- pay-as-you-go session (routine context) --")
-	w := core.New(universe, core.ProductConfig(), routine, dataCtx)
-	if _, err := w.Run(); err != nil {
+	s := session("routine price comparison", routineAHP, 6)
+	if _, err := s.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
-	before := w.EvaluateProducts()
-	suspect := w.SelectedSources()[0]
+	before := s.Evaluate()
+	suspect := s.SelectedSources()[0]
+	var annotations []wrangle.Feedback
 	for i := 0; i < 8; i++ {
-		w.Feedback.Add(feedback.Item{
-			Kind: feedback.ValueIncorrect, SourceID: suspect,
+		annotations = append(annotations, wrangle.Feedback{
+			Kind: wrangle.ValueIncorrect, SourceID: suspect,
 			Entity: fmt.Sprintf("SKU-%05d", i), Attribute: "price", Cost: 0.5,
 		})
 	}
-	stats, err := w.ReactToFeedback()
+	stats, err := s.ApplyFeedback(ctx, annotations...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after := w.EvaluateProducts()
+	after := s.Evaluate()
 	fmt.Printf("8 annotations (cost %.1f min): trust[%s]=%.2f, price-acc %.3f -> %.3f\n",
-		w.Feedback.Spent(), suspect, w.Trust()[suspect], before.PriceAccuracy, after.PriceAccuracy)
+		s.FeedbackSpent(), suspect, s.Trust()[suspect], before.PriceAccuracy, after.PriceAccuracy)
 	fmt.Printf("reaction scope: re-extracted=%d reclustered=%v refused=%v (full pipeline untouched)\n",
 		stats.SourcesReextracted, stats.Reclustered, stats.Refused)
 }

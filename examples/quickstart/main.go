@@ -1,38 +1,41 @@
 // Quickstart: wrangle five heterogeneous product sources into one clean
-// table in ~30 lines. This is the smallest end-to-end use of the library:
-// generate a universe (in production you would point the extractors at
-// real payloads), build a wrangler with default contexts, run, read.
+// table through the public API. This is the smallest end-to-end use of
+// the library: build a session over a synthetic universe (in production
+// you would point it at real payloads via wrangle.FromDir or a custom
+// Provider), run, read.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/context"
-	"repro/internal/core"
-	"repro/internal/ontology"
-	"repro/internal/sources"
+	"repro/wrangle"
 )
 
 func main() {
-	// A world of 100 products and five imperfect sources derived from it.
-	world := sources.NewWorld(42, 100, 0)
-	universe := sources.Generate(world, sources.DefaultConfig(42, 5))
-
-	// Default user context (balanced criteria); the built-in product
-	// ontology as data context so source schemas align semantically.
-	dataCtx := context.NewDataContext().WithTaxonomy(ontology.ProductTaxonomy())
-	w := core.New(universe, core.ProductConfig(), nil, dataCtx)
-
-	wrangled, err := w.Run()
+	// Five imperfect sources derived from a synthetic product world, the
+	// built-in product ontology as data context so source schemas align
+	// semantically, and a default (balanced) user context.
+	s, err := wrangle.New(
+		wrangle.WithDomain(wrangle.Products),
+		wrangle.WithSeed(42),
+		wrangle.WithSyntheticSources(5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("wrangled %d entities from %d sources:\n\n", wrangled.Len(), len(universe.Sources))
+	wrangled, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrangled %d entities from %d sources:\n\n",
+		wrangled.Len(), len(s.Provider().List()))
 	fmt.Println(wrangled.String())
 
-	ev := w.EvaluateProducts()
+	ev := s.Evaluate()
 	fmt.Printf("\nagainst ground truth: precision=%.2f recall=%.2f name-accuracy=%.2f\n",
 		ev.EntityPrecision, ev.EntityRecall, ev.NameAccuracy)
 }

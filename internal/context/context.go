@@ -52,6 +52,15 @@ type UserContext struct {
 // Weight returns the context's weight for a criterion (0 if unset).
 func (u *UserContext) Weight(c Criterion) float64 { return u.Weights[c] }
 
+// DefaultUserContext returns the balanced context used when a caller
+// supplies none: accuracy, completeness, timeliness and relevance
+// weighted equally, no resource bounds.
+func DefaultUserContext() *UserContext {
+	return &UserContext{Name: "default", Weights: map[Criterion]float64{
+		Accuracy: 0.25, Completeness: 0.25, Timeliness: 0.25, Relevance: 0.25,
+	}}
+}
+
 // AHP is a pairwise comparison matrix over criteria. Entry (i,j) holds how
 // much more important criterion i is than j on Saaty's 1-9 scale;
 // reciprocals are enforced by Set.

@@ -10,12 +10,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/context"
+	wctx "repro/internal/context"
 	"repro/internal/dataset"
 	"repro/internal/er"
 	"repro/internal/extract"
@@ -106,11 +107,13 @@ type RunStats struct {
 	Duration         time.Duration
 }
 
-// Wrangler is the Figure-1 architecture instance.
+// Wrangler is the Figure-1 architecture instance. Sources arrive through
+// a sources.Provider — the synthetic Universe, files on disk, or any
+// other backend — so the orchestrator never depends on where data lives.
 type Wrangler struct {
-	Universe *sources.Universe
-	UserCtx  *context.UserContext
-	DataCtx  *context.DataContext
+	Provider sources.Provider
+	UserCtx  *wctx.UserContext
+	DataCtx  *wctx.DataContext
 	Feedback *feedback.Store
 	Prov     *provenance.Graph
 	Config   Config
@@ -128,20 +131,18 @@ type Wrangler struct {
 	LastStats    RunStats
 }
 
-// New builds a wrangler over a universe with the given contexts. userCtx
-// may be nil (uniform weights); dataCtx may be nil (no auxiliary data).
-func New(u *sources.Universe, cfg Config, userCtx *context.UserContext, dataCtx *context.DataContext) *Wrangler {
+// New builds a wrangler over a source provider with the given contexts.
+// userCtx may be nil (uniform weights); dataCtx may be nil (no auxiliary
+// data).
+func New(p sources.Provider, cfg Config, userCtx *wctx.UserContext, dataCtx *wctx.DataContext) *Wrangler {
 	if userCtx == nil {
-		userCtx = &context.UserContext{Name: "default", Weights: map[context.Criterion]float64{
-			context.Accuracy: 0.25, context.Completeness: 0.25,
-			context.Timeliness: 0.25, context.Relevance: 0.25,
-		}}
+		userCtx = wctx.DefaultUserContext()
 	}
 	if dataCtx == nil {
-		dataCtx = context.NewDataContext()
+		dataCtx = wctx.NewDataContext()
 	}
 	return &Wrangler{
-		Universe: u,
+		Provider: p,
 		UserCtx:  userCtx,
 		DataCtx:  dataCtx,
 		Feedback: feedback.NewStore(),
@@ -156,16 +157,34 @@ func New(u *sources.Universe, cfg Config, userCtx *context.UserContext, dataCtx 
 // the target schema, select sources under the user context, resolve
 // entities and fuse. It returns the wrangled table.
 func (w *Wrangler) Run() (*dataset.Table, error) {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between per-source processing steps and between the pipeline stages
+// (extraction/selection/integration), so a caller can abandon a long
+// wrangle mid-flight. A cancelled run returns ctx.Err() and leaves the
+// working data in whatever state the completed steps produced.
+func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	start := time.Now()
 	w.LastStats = RunStats{}
-	for _, s := range w.Universe.Sources {
+	for _, s := range w.Provider.List() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := w.processSource(s); err != nil {
 			// A source that cannot be wrangled is skipped, not fatal —
 			// best-effort is the contract (§2.1).
 			continue
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w.selectSources()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := w.integrate(); err != nil {
 		return nil, err
 	}
@@ -177,7 +196,13 @@ func (w *Wrangler) Run() (*dataset.Table, error) {
 // provenance. It is the unit of incremental recomputation.
 func (w *Wrangler) processSource(s *sources.Source) error {
 	st := &sourceState{}
-	w.states[s.ID] = st
+	// A re-processed source (refresh, wrapper repair) keeps its selection:
+	// incremental reactions must not silently drop it from integration.
+	// The new state is only installed on success (deferred below), so a
+	// failed re-processing keeps the previous good working data too.
+	if prev, ok := w.states[s.ID]; ok {
+		st.selected = prev.selected
+	}
 	w.LastStats.SourcesProcessed++
 	srcRef := provenance.Ref{Kind: provenance.KindSource, ID: s.ID}
 	w.Prov.Put(srcRef, "sources", nil, string(s.Kind))
@@ -237,12 +262,13 @@ func (w *Wrangler) processSource(s *sources.Source) error {
 	st.mapped = mapped
 
 	sc, err := quality.Assess(mapped, w.DataCtx.MasterData, w.Config.KeyColumn,
-		w.Config.TimeColumn, sources.AsOf(w.Universe.World.Clock), 24*time.Hour, nil)
+		w.Config.TimeColumn, sources.AsOf(w.Provider.Clock()), 24*time.Hour, nil)
 	if err != nil {
 		return fmt.Errorf("core: assess %s: %w", s.ID, err)
 	}
 	st.scorecard = sc
 	w.Prov.Put(provenance.Ref{Kind: provenance.KindQuality, ID: s.ID}, "quality.Assess", []provenance.Ref{mapRef}, "")
+	w.states[s.ID] = st
 	return nil
 }
 
@@ -312,15 +338,15 @@ func (w *Wrangler) selectSources() {
 		if st.mapped == nil {
 			continue
 		}
-		scores := map[context.Criterion]float64{
-			context.Completeness: st.quality.Completeness,
-			context.Relevance:    relevanceScore(rel[id], st.quality.Coverage),
+		scores := map[wctx.Criterion]float64{
+			wctx.Completeness: st.quality.Completeness,
+			wctx.Relevance:    relevanceScore(rel[id], st.quality.Coverage),
 		}
 		if !isNaN(st.scorecard.Accuracy) {
-			scores[context.Accuracy] = st.scorecard.Accuracy
+			scores[wctx.Accuracy] = st.scorecard.Accuracy
 		}
 		if !isNaN(st.scorecard.Timeliness) {
-			scores[context.Timeliness] = st.scorecard.Timeliness
+			scores[wctx.Timeliness] = st.scorecard.Timeliness
 		}
 		st.utility = w.UserCtx.Score(scores)
 		all = append(all, ranked{id: id, utility: st.utility})
@@ -554,11 +580,11 @@ func (w *Wrangler) fuse(ids []string) error {
 // trust map (shared feedback assimilation).
 func (w *Wrangler) fusionOptions() fusion.Options {
 	policy := fusion.TruthFinder
-	if w.UserCtx.Weight(context.Timeliness) >= 0.3 && w.Config.TimeColumn != "" {
+	if w.UserCtx.Weight(wctx.Timeliness) >= 0.3 && w.Config.TimeColumn != "" {
 		policy = fusion.FreshnessWeighted
 	}
 	opts := fusion.DefaultOptions(policy)
-	opts.Now = sources.AsOf(w.Universe.World.Clock)
+	opts.Now = sources.AsOf(w.Provider.Clock())
 	opts.Pinned = map[string]bool{}
 	for src, t := range w.Feedback.SourceTrust() {
 		opts.Trust[src] = t

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/sources"
 	"repro/internal/text"
 )
 
@@ -30,15 +31,26 @@ type Evaluation struct {
 	Entities       int
 }
 
+// world returns the synthetic ground-truth world behind the provider, or
+// nil when the provider is not a synthetic universe (real data has no
+// oracle).
+func (w *Wrangler) world() *sources.World {
+	if u, ok := w.Provider.(*sources.Universe); ok {
+		return u.World
+	}
+	return nil
+}
+
 // EvaluateProducts scores the wrangled table against the product world at
-// the current clock.
+// the current clock. Providers without ground truth yield a zero
+// Evaluation (no oracle to compare against).
 func (w *Wrangler) EvaluateProducts() Evaluation {
 	var ev Evaluation
 	t := w.wrangled
-	if t == nil || t.Len() == 0 {
+	world := w.world()
+	if t == nil || t.Len() == 0 || world == nil {
 		return ev
 	}
-	world := w.Universe.World
 	kc := t.Schema().Index("sku")
 	nc := t.Schema().Index("name")
 	pc := t.Schema().Index("price")
@@ -94,10 +106,10 @@ func (w *Wrangler) EvaluateProducts() Evaluation {
 func (w *Wrangler) EvaluateLocations() Evaluation {
 	var ev Evaluation
 	t := w.wrangled
-	if t == nil || t.Len() == 0 {
+	world := w.world()
+	if t == nil || t.Len() == 0 || world == nil {
 		return ev
 	}
-	world := w.Universe.World
 	nc := t.Schema().Index("name")
 	sc := t.Schema().Index("street")
 	byName := map[string]int{}
@@ -137,8 +149,11 @@ func (w *Wrangler) EvaluateLocations() Evaluation {
 // TruthOracle returns a fusion.Accuracy-compatible oracle over the product
 // world at the current clock: entity ids are SKUs.
 func (w *Wrangler) TruthOracle() func(entity, attribute string) (dataset.Value, bool) {
-	world := w.Universe.World
+	world := w.world()
 	return func(entity, attribute string) (dataset.Value, bool) {
+		if world == nil {
+			return dataset.Null(), false
+		}
 		p := world.Product(entity)
 		if p == nil {
 			return dataset.Null(), false

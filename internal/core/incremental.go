@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,12 +21,12 @@ import (
 // ReactStats reports the scope of an incremental reaction, for comparison
 // against a full rerun (experiment E10).
 type ReactStats struct {
-	FeedbackItems     int
+	FeedbackItems      int
 	SourcesReextracted int
-	Remapped          int
-	Reclustered       bool
-	Refused           bool
-	Duration          time.Duration
+	Remapped           int
+	Reclustered        bool
+	Refused            bool
+	Duration           time.Duration
 }
 
 // ReactToFeedback consumes feedback added since the last reaction and
@@ -38,13 +40,22 @@ type ReactStats struct {
 //
 // Extractions, mappings and scorecards of untouched sources are reused.
 func (w *Wrangler) ReactToFeedback() (ReactStats, error) {
+	return w.ReactToFeedbackContext(context.Background())
+}
+
+// ReactToFeedbackContext is ReactToFeedback with cooperative cancellation
+// between per-source re-extractions.
+func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, error) {
 	start := time.Now()
 	items := w.Feedback.Since(w.lastSeq)
 	stats := ReactStats{FeedbackItems: len(items)}
 	if len(items) == 0 {
 		return stats, nil
 	}
-	w.lastSeq = items[len(items)-1].Seq
+	// lastSeq only advances once the reaction completes: a cancelled or
+	// failed reaction leaves the items pending, so a retry re-reacts
+	// instead of silently dropping them.
+	last := items[len(items)-1].Seq
 
 	needRecluster := false
 	needRefuse := false
@@ -63,7 +74,10 @@ func (w *Wrangler) ReactToFeedback() (ReactStats, error) {
 		}
 	}
 	for id := range reextract {
-		s := w.Universe.Source(id)
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		s := w.Provider.Lookup(id)
 		if s == nil {
 			continue
 		}
@@ -77,6 +91,9 @@ func (w *Wrangler) ReactToFeedback() (ReactStats, error) {
 		stats.SourcesReextracted++
 		stats.Remapped++
 		needRecluster = true
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
 	}
 	if needReselect {
 		w.selectSources()
@@ -95,35 +112,68 @@ func (w *Wrangler) ReactToFeedback() (ReactStats, error) {
 		}
 		stats.Refused = true
 	}
+	w.lastSeq = last
 	stats.Duration = time.Since(start)
 	return stats, nil
 }
 
-// RefreshSource handles source churn (Velocity): the universe re-snapshots
+// RefreshSource handles source churn (Velocity): the provider re-acquires
 // the source, and only that source's extraction chain plus the shared
-// integration tail is recomputed. Returns the affected artefact count from
-// the provenance graph for reporting.
+// integration tail is recomputed. The returned ReactStats reports the
+// recomputation scope.
 func (w *Wrangler) RefreshSource(id string) (ReactStats, error) {
+	return w.RefreshSourcesContext(context.Background(), []string{id})
+}
+
+// RefreshSourceContext is RefreshSource with cooperative cancellation
+// between the re-extraction and the integration tail.
+func (w *Wrangler) RefreshSourceContext(ctx context.Context, id string) (ReactStats, error) {
+	return w.RefreshSourcesContext(ctx, []string{id})
+}
+
+// RefreshSourcesContext refreshes a batch of sources and recomputes the
+// shared integration tail once — not once per source, which is the
+// expensive part of a refresh. Per-source failures are best-effort (like
+// Run): the failing source keeps its previous working data, the rest of
+// the batch and the integration tail still run, and the collected errors
+// are returned alongside the stats of what did happen. Only cancellation
+// aborts the batch.
+func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (ReactStats, error) {
 	start := time.Now()
 	var stats ReactStats
-	s := w.Universe.Refresh(id)
-	if s == nil {
-		return stats, fmt.Errorf("core: unknown source %q", id)
+	var errs []error
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		s := w.Provider.Refresh(id)
+		if s == nil {
+			errs = append(errs, fmt.Errorf("core: unknown source %q", id))
+			continue
+		}
+		if err := w.processSource(s); err != nil {
+			errs = append(errs, fmt.Errorf("core: refresh %s: %w", id, err))
+			continue
+		}
+		stats.SourcesReextracted++
+		stats.Remapped++
 	}
-	affected := w.Prov.Affected(provenance.Ref{Kind: provenance.KindSource, ID: id})
-	_ = affected // reported via provenance; recomputation below mirrors it
-	if err := w.processSource(s); err != nil {
-		return stats, fmt.Errorf("core: refresh %s: %w", id, err)
-	}
-	stats.SourcesReextracted = 1
-	stats.Remapped = 1
-	if err := w.integrate(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return stats, err
+	}
+	if stats.SourcesReextracted == 0 && len(errs) > 0 {
+		// Nothing was re-acquired; the working data is unchanged and the
+		// integration tail has nothing new to fold in.
+		return stats, errors.Join(errs...)
+	}
+	if err := w.integrate(); err != nil {
+		errs = append(errs, err)
+		return stats, errors.Join(errs...)
 	}
 	stats.Reclustered = true
 	stats.Refused = true
 	stats.Duration = time.Since(start)
-	return stats, nil
+	return stats, errors.Join(errs...)
 }
 
 // FullRerun discards all working data and recomputes the pipeline from
@@ -152,8 +202,12 @@ func (w *Wrangler) AffectedBy(sourceID string) []provenance.Ref {
 
 // EvolveWorld advances the world clock with the given churn and returns
 // the SKUs whose prices changed — the velocity driver for experiments.
+// Only meaningful for synthetic universes; other providers return nil.
 func (w *Wrangler) EvolveWorld(churn float64) []string {
-	return w.Universe.World.Evolve(churn)
+	if u, ok := w.Provider.(*sources.Universe); ok {
+		return u.World.Evolve(churn)
+	}
+	return nil
 }
 
 // Snapshot returns a copy of the per-source selection and utility for
@@ -194,7 +248,7 @@ type SourceReport struct {
 func (w *Wrangler) ChurnAndRefresh(churn float64, nSources int) ([]ReactStats, error) {
 	w.EvolveWorld(churn)
 	var out []ReactStats
-	for i, s := range w.Universe.Sources {
+	for i, s := range w.Provider.List() {
 		if i >= nSources {
 			break
 		}
@@ -236,5 +290,5 @@ func (w *Wrangler) BudgetRemaining() float64 {
 // FeedbackSeq returns the last assimilated feedback sequence number.
 func (w *Wrangler) FeedbackSeq() int { return w.lastSeq }
 
-// AsOfNow returns the universe's current wall-clock anchor.
-func (w *Wrangler) AsOfNow() time.Time { return sources.AsOf(w.Universe.World.Clock) }
+// AsOfNow returns the provider's current wall-clock anchor.
+func (w *Wrangler) AsOfNow() time.Time { return sources.AsOf(w.Provider.Clock()) }

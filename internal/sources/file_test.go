@@ -1,0 +1,115 @@
+package sources
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileProviderKindsAndPayloads(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "shop.csv", "sku,name,price\nA1,Widget,9.99\n")
+	jsn := writeFile(t, dir, "feed.json", `[{"sku":"A1","name":"Widget","price":10.50}]`)
+	kv := writeFile(t, dir, "dump.kv", "sku: A1\nname: Widget\n")
+
+	p, err := NewFileProvider(csv, jsn, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.List()); got != 3 {
+		t.Fatalf("List() = %d sources, want 3", got)
+	}
+	wantKinds := map[string]Kind{"shop": KindCSV, "feed": KindJSON, "dump": KindKV}
+	for id, kind := range wantKinds {
+		s := p.Lookup(id)
+		if s == nil {
+			t.Fatalf("Lookup(%q) = nil", id)
+		}
+		if s.Kind != kind {
+			t.Errorf("Lookup(%q).Kind = %q, want %q", id, s.Kind, kind)
+		}
+		if s.Payload() == "" {
+			t.Errorf("Lookup(%q).Payload() empty", id)
+		}
+	}
+	if p.Clock() != 0 {
+		t.Errorf("Clock() = %d, want 0", p.Clock())
+	}
+}
+
+func TestFileProviderRefreshRereads(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "shop.csv", "sku,price\nA1,1.00\n")
+	p, err := NewFileProvider(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Lookup("shop").Payload()
+	writeFile(t, dir, "shop.csv", "sku,price\nA1,2.00\n")
+	s := p.Refresh("shop")
+	if s == nil {
+		t.Fatal("Refresh returned nil")
+	}
+	if s.Payload() == before {
+		t.Error("Refresh did not pick up the on-disk change")
+	}
+	if p.Refresh("nope") != nil {
+		t.Error("Refresh of unknown id should return nil")
+	}
+}
+
+func TestDirProvider(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.csv", "sku,price\nA1,1.00\n")
+	writeFile(t, dir, "b.json", `[{"sku":"A1"}]`)
+	writeFile(t, dir, "ignore.bin", "xx")
+	p, err := NewDirProvider(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.List()); got != 2 {
+		t.Fatalf("dir provider found %d sources, want 2", got)
+	}
+	if _, err := NewDirProvider(filepath.Join(dir, "missing")); err == nil {
+		t.Error("NewDirProvider on missing dir should error")
+	}
+}
+
+func TestEmptyHTMLFileDoesNotPanic(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "page.html", "")
+	p, err := NewFileProvider(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Lookup("page")
+	if s == nil {
+		t.Fatal("empty html file not listed")
+	}
+	if got := s.Payload(); got != "" {
+		t.Errorf("Payload() = %q, want empty", got)
+	}
+}
+
+func TestFileProviderErrors(t *testing.T) {
+	if _, err := NewFileProvider(); err == nil {
+		t.Error("no files should error")
+	}
+	if _, err := NewFileProvider("nosuch.csv"); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "x.bin", "xx")
+	if _, err := NewFileProvider(bad); err == nil {
+		t.Error("unsupported extension should error")
+	}
+}

@@ -1,0 +1,61 @@
+package sources
+
+// Provider abstracts where sources come from. The orchestrator
+// (internal/core) wrangles whatever a Provider hands it — the synthetic
+// Universe used by the experiments, files on disk, or any future backend
+// (crawlers, APIs, message queues) — without knowing which one it got.
+//
+// Refresh re-acquires one source (the Velocity reaction path) and may
+// return the same *Source with updated contents; providers whose sources
+// never change may return the source unchanged. Clock anchors freshness
+// assessment: providers without a notion of time return 0 (= "now").
+type Provider interface {
+	// List returns every source the provider currently offers, in a
+	// stable order.
+	List() []*Source
+	// Lookup returns the source with the given ID, or nil.
+	Lookup(id string) *Source
+	// Refresh re-acquires the source with the given ID and returns it,
+	// or nil when the ID is unknown.
+	Refresh(id string) *Source
+	// Clock returns the provider's current logical clock (world steps
+	// for the synthetic universe, 0 for timeless providers).
+	Clock() int
+}
+
+// List implements Provider.
+func (u *Universe) List() []*Source { return u.Sources }
+
+// Lookup implements Provider.
+func (u *Universe) Lookup(id string) *Source { return u.Source(id) }
+
+// Clock implements Provider.
+func (u *Universe) Clock() int { return u.World.Clock }
+
+// Static is a fixed set of in-memory sources — the simplest Provider.
+// Refresh returns the source unchanged.
+type Static struct {
+	Items []*Source
+}
+
+// NewStatic builds a provider over the given sources.
+func NewStatic(items ...*Source) *Static { return &Static{Items: items} }
+
+// List implements Provider.
+func (s *Static) List() []*Source { return s.Items }
+
+// Lookup implements Provider.
+func (s *Static) Lookup(id string) *Source {
+	for _, it := range s.Items {
+		if it.ID == id {
+			return it
+		}
+	}
+	return nil
+}
+
+// Refresh implements Provider (no-op: static data does not churn).
+func (s *Static) Refresh(id string) *Source { return s.Lookup(id) }
+
+// Clock implements Provider.
+func (s *Static) Clock() int { return 0 }

@@ -35,13 +35,13 @@ type ErrorKind string
 
 // Injected error kinds (Veracity).
 const (
-	ErrTypo    ErrorKind = "typo"     // misspelled text value
-	ErrNull    ErrorKind = "null"     // value dropped
-	ErrWrong   ErrorKind = "wrong"    // numeric value perturbed
-	ErrUnit    ErrorKind = "unit"     // price reported in cents (×100)
-	ErrStale   ErrorKind = "stale"    // value from an earlier clock
-	ErrFantasy ErrorKind = "fantasy"  // whole record is invented
-	ErrGeo     ErrorKind = "geo"      // coordinates offset (locations)
+	ErrTypo    ErrorKind = "typo"    // misspelled text value
+	ErrNull    ErrorKind = "null"    // value dropped
+	ErrWrong   ErrorKind = "wrong"   // numeric value perturbed
+	ErrUnit    ErrorKind = "unit"    // price reported in cents (×100)
+	ErrStale   ErrorKind = "stale"   // value from an earlier clock
+	ErrFantasy ErrorKind = "fantasy" // whole record is invented
+	ErrGeo     ErrorKind = "geo"     // coordinates offset (locations)
 )
 
 // ErrorRates configures per-field injection probabilities. All values are
@@ -90,6 +90,10 @@ type Source struct {
 	SnapshotClock int       // world clock when the snapshot was taken
 	QualityFactor float64   // multiplier applied to base error rates (0 = clean)
 	Categories    []string  // ontology class IDs this source covers
+	// Raw, when non-empty, is the source's literal payload (real-world
+	// sources read from disk or the network). Synthetic sources leave it
+	// empty and render Records instead.
+	Raw string
 }
 
 // Header returns the source-specific name for a canonical property.
@@ -100,14 +104,25 @@ func (s *Source) Header(prop string) string {
 	return prop
 }
 
-// Payload renders the source's records in its publication format.
+// Payload renders the source's records in its publication format. Sources
+// with a literal Raw payload return it verbatim; a source with neither
+// records nor a template is raw by construction (file- or caller-backed),
+// so an empty Raw means an empty payload rather than a synthetic render.
 func (s *Source) Payload() string {
+	if s.Raw != "" || (s.Records == nil && s.Template == nil) {
+		return s.Raw
+	}
 	switch s.Kind {
 	case KindCSV:
 		return s.renderCSV()
 	case KindJSON:
 		return s.renderJSON()
 	case KindHTML:
+		// A file-backed HTML source whose file is empty has neither Raw
+		// nor a synthetic template; an empty page beats a panic.
+		if s.Template == nil {
+			return ""
+		}
 		return s.Template.RenderPage(s)
 	case KindKV:
 		return s.renderKV()
@@ -202,8 +217,8 @@ func (s *Source) renderKV() string {
 type Config struct {
 	Seed        int64
 	Domain      Domain
-	NumSources  int     // Volume: number of sources
-	MinRecords  int     // Volume: records per source (uniform in [Min,Max])
+	NumSources  int // Volume: number of sources
+	MinRecords  int // Volume: records per source (uniform in [Min,Max])
 	MaxRecords  int
 	Coverage    float64 // fraction of the world each source may draw from
 	Errors      ErrorRates

@@ -1,0 +1,35 @@
+// Package wrangle is the public entry point to the repro's data wrangling
+// pipeline — the automated, context-aware, pay-as-you-go architecture of
+// Furche et al., "Data Wrangling for Big Data" (EDBT 2016), Figure 1.
+//
+// It is a facade over the internal packages: callers configure a session
+// with functional options, run it, and react to feedback — without ever
+// importing repro/internal/... (which is free to churn between releases).
+//
+// # Quickstart
+//
+//	s, err := wrangle.New(
+//		wrangle.WithDomain(wrangle.Products),
+//		wrangle.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	table, err := s.Run(context.Background())
+//
+// # Real data
+//
+// Point a session at CSV/JSON/KV/HTML files on disk instead of the
+// synthetic universe:
+//
+//	p, err := wrangle.FromDir("./data")
+//	s, err := wrangle.New(wrangle.WithProvider(p))
+//
+// Any backend implementing the Provider interface works the same way.
+//
+// # Lifecycle
+//
+// A Session wraps the pay-as-you-go loop: Run wrangles, Report renders
+// reviewable output, ApplyFeedback assimilates annotations incrementally
+// (only affected artefacts are recomputed), and Refresh reacts to source
+// churn. All lifecycle methods take a context.Context and honour
+// cancellation between pipeline stages.
+package wrangle

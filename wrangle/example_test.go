@@ -1,0 +1,33 @@
+package wrangle_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/wrangle"
+)
+
+// ExampleNew wrangles a small synthetic product universe through the
+// public facade: five messy sources (mixed formats, injected errors) in,
+// one clean entity table out.
+func ExampleNew() {
+	s, err := wrangle.New(
+		wrangle.WithDomain(wrangle.Products),
+		wrangle.WithSeed(42),
+		wrangle.WithSyntheticSources(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrangled %d entities from %d sources\n",
+		table.Len(), len(s.Provider().List()))
+	fmt.Printf("columns: %v\n", table.Schema().Names())
+	// Output:
+	// wrangled 166 entities from 5 sources
+	// columns: [sku name brand category price rating updated]
+}

@@ -1,0 +1,96 @@
+// Package experiments re-exports the reproduction's experiment harness
+// through the public API surface: each function regenerates one
+// paper-claim table (manual-vs-automated effort, user-context trade-offs,
+// evidence ablation, pay-as-you-go curves, scale bounds, incremental
+// reaction scope) deterministically in its seed. cmd/experiments and the
+// root benchmark suite drive these.
+package experiments
+
+import (
+	"repro/internal/experiments"
+)
+
+// Re-exported result types.
+type (
+	// Table is a formatted experiment result table.
+	Table = experiments.Table
+	// Row types carry each experiment's per-row measurements.
+	E1Result = experiments.E1Result
+	E2Row    = experiments.E2Row
+	E3Row    = experiments.E3Row
+	E4Row    = experiments.E4Row
+	E5Row    = experiments.E5Row
+	E5bRow   = experiments.E5bRow
+	E6Row    = experiments.E6Row
+	E7Row    = experiments.E7Row
+	E8Row    = experiments.E8Row
+	E9Row    = experiments.E9Row
+	E10Row   = experiments.E10Row
+	F1Row    = experiments.F1Row
+)
+
+// E1ManualVsAutomated measures wrangling effort share, manual vs the
+// automated pipeline.
+func E1ManualVsAutomated(seed int64, nSources int) (Table, []E1Result) {
+	return experiments.E1ManualVsAutomated(seed, nSources)
+}
+
+// E2UserContexts contrasts source selection and output quality across
+// user contexts (Example 2).
+func E2UserContexts(seed int64, nSources int) (Table, []E2Row) {
+	return experiments.E2UserContexts(seed, nSources)
+}
+
+// E3ContextExtraction measures context-informed extraction and repair.
+func E3ContextExtraction(seed int64, nSources int) (Table, []E3Row) {
+	return experiments.E3ContextExtraction(seed, nSources)
+}
+
+// E4EvidenceTypes ablates the data-context evidence types.
+func E4EvidenceTypes(seed int64, nSources int) (Table, []E4Row) {
+	return experiments.E4EvidenceTypes(seed, nSources)
+}
+
+// E5PayAsYouGo plots the feedback-vs-quality curve (§2.4).
+func E5PayAsYouGo(seed int64, nSources, batches, pairsPerBatch int) (Table, []E5Row) {
+	return experiments.E5PayAsYouGo(seed, nSources, batches, pairsPerBatch)
+}
+
+// E5bSharedVsSiloed contrasts shared feedback assimilation with
+// single-component feedback.
+func E5bSharedVsSiloed(seed int64, nSources int) (Table, []E5bRow) {
+	return experiments.E5bSharedVsSiloed(seed, nSources)
+}
+
+// E6BoundedEvaluation measures bounded-resource query evaluation at the
+// given input sizes.
+func E6BoundedEvaluation(sizes []int) (Table, []E6Row) {
+	return experiments.E6BoundedEvaluation(sizes)
+}
+
+// E7CQApproximation measures conjunctive-query approximation quality.
+func E7CQApproximation(seed int64, nodes, edges int) (Table, []E7Row) {
+	return experiments.E7CQApproximation(seed, nodes, edges)
+}
+
+// E8KBCvsWrangler contrasts knowledge-base-construction style output with
+// the wrangler's.
+func E8KBCvsWrangler(seed int64, nSources int) (Table, []E8Row) {
+	return experiments.E8KBCvsWrangler(seed, nSources)
+}
+
+// E9Uncertainty measures uncertainty-aware hypothesis handling.
+func E9Uncertainty(seed int64, hypotheses, nSources int) (Table, []E9Row) {
+	return experiments.E9Uncertainty(seed, hypotheses, nSources)
+}
+
+// E10Incremental contrasts incremental reaction scope against full
+// reruns under source churn.
+func E10Incremental(seed int64, nSources, events int) (Table, []E10Row) {
+	return experiments.E10Incremental(seed, nSources, events)
+}
+
+// F1Architecture runs the full Figure-1 architecture smoke workload.
+func F1Architecture(seed int64, nSources int) (Table, []F1Row) {
+	return experiments.F1Architecture(seed, nSources)
+}

@@ -1,0 +1,55 @@
+// Package extract re-exports the wrapper-induction machinery (§2.2)
+// through the public API surface: parse HTML pages, induce a wrapper from
+// listing pages or a handful of detail pages, run it across a site, and
+// repair it when the site's layout drifts. Most callers never need this —
+// the wrangle facade drives extraction automatically — but scenarios that
+// wrap sites directly (the deep-web workload of Example 3) use it
+// standalone.
+package extract
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/extract"
+	"repro/internal/html"
+	"repro/internal/ontology"
+)
+
+// Re-exported extraction types.
+type (
+	// Node is one parsed HTML node.
+	Node = html.Node
+	// Table is the tabular output of extraction (same type as
+	// wrangle.Table).
+	Table = dataset.Table
+	// Taxonomy is a domain ontology guiding field labelling (same type
+	// as wrangle.Taxonomy).
+	Taxonomy = ontology.Taxonomy
+	// Wrapper is an induced extraction program for one source.
+	Wrapper = extract.Wrapper
+	// FieldRule locates and labels one extracted field.
+	FieldRule = extract.FieldRule
+	// RepairReport summarises a wrapper repair pass.
+	RepairReport = extract.RepairReport
+)
+
+// Parse parses an HTML payload into a node tree.
+func Parse(payload string) *Node { return html.Parse(payload) }
+
+// Induce infers a wrapper from a single listing page, optionally guided
+// by a domain taxonomy.
+func Induce(sourceID string, page *Node, tax *Taxonomy) (*Wrapper, error) {
+	return extract.Induce(sourceID, page, tax)
+}
+
+// InduceDetail infers a wrapper from example detail pages (one entity per
+// page) by aligning fields across pages; site-constant boilerplate is
+// discarded.
+func InduceDetail(sourceID string, pages []*Node, tax *Taxonomy) (*Wrapper, error) {
+	return extract.InduceDetail(sourceID, pages, tax)
+}
+
+// ExtractSite runs a detail wrapper over every page of a site and returns
+// the extracted table.
+func ExtractSite(w *Wrapper, pages []*Node) (*Table, error) {
+	return extract.ExtractSite(w, pages)
+}

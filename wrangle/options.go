@@ -1,0 +1,185 @@
+package wrangle
+
+import (
+	"fmt"
+)
+
+// Domain selects which built-in target schema and ontology a session
+// wrangles towards.
+type Domain string
+
+// Supported domains.
+const (
+	// Products is the e-commerce domain of the paper's Examples 1-2
+	// (target schema sku/name/brand/category/price/rating/updated).
+	Products Domain = "products"
+	// Locations is the business-locations domain of Example 3.
+	Locations Domain = "locations"
+)
+
+// settings accumulates option values until New resolves them.
+type settings struct {
+	domain Domain
+
+	userCtx *UserContext // WithUserContext / WithAHPWeights (last wins)
+
+	taxonomy    *Taxonomy
+	taxonomySet bool
+
+	master    *Table
+	masterKey string
+
+	sourceBudget    int
+	sourceBudgetSet bool
+
+	feedbackBudget    float64
+	feedbackBudgetSet bool
+
+	provider Provider
+
+	seed         int64
+	synthSources int
+}
+
+// Option configures a session at construction time. Options validate
+// eagerly: New returns the first option error.
+type Option func(*settings) error
+
+// WithDomain selects the wrangling domain (Products or Locations).
+// Unknown domains are rejected.
+func WithDomain(d Domain) Option {
+	return func(s *settings) error {
+		switch d {
+		case Products, Locations:
+			s.domain = d
+			return nil
+		default:
+			return fmt.Errorf("unknown domain %q (want %q or %q)", d, Products, Locations)
+		}
+	}
+}
+
+// WithUserContext installs an explicit user context (criterion weights
+// plus budgets). Overrides any earlier WithAHPWeights.
+func WithUserContext(uc *UserContext) Option {
+	return func(s *settings) error {
+		if uc == nil {
+			return fmt.Errorf("nil user context")
+		}
+		s.userCtx = uc
+		return nil
+	}
+}
+
+// WithAHPWeights elicits the user context from a pairwise AHP comparison
+// matrix. The matrix's consistency ratio is validated (CR <= 0.1), so an
+// incoherent set of judgements fails at New rather than silently skewing
+// source selection. Overrides any earlier WithUserContext.
+func WithAHPWeights(name string, a *AHP) Option {
+	return func(s *settings) error {
+		if a == nil {
+			return fmt.Errorf("nil AHP matrix")
+		}
+		uc, err := BuildUserContext(name, a, 0, 0)
+		if err != nil {
+			return err
+		}
+		s.userCtx = uc
+		return nil
+	}
+}
+
+// WithTaxonomy installs the domain ontology the matcher and extractors
+// consult. By default a session uses the built-in taxonomy of its domain;
+// passing nil is an error (use the default instead of disabling it).
+func WithTaxonomy(t *Taxonomy) Option {
+	return func(s *settings) error {
+		if t == nil {
+			return fmt.Errorf("nil taxonomy")
+		}
+		s.taxonomy = t
+		s.taxonomySet = true
+		return nil
+	}
+}
+
+// WithMasterData installs the caller's own trusted table (e.g. a product
+// catalogue) as master data, keyed by the named column. Master data
+// powers instance-based matching, unit repair and accuracy scoring.
+func WithMasterData(t *Table, key string) Option {
+	return func(s *settings) error {
+		if t == nil {
+			return fmt.Errorf("nil master data table")
+		}
+		if key == "" {
+			return fmt.Errorf("empty master data key column")
+		}
+		if t.Schema().Index(key) < 0 {
+			return fmt.Errorf("master data has no column %q", key)
+		}
+		s.master = t
+		s.masterKey = key
+		return nil
+	}
+}
+
+// WithSourceBudget bounds how many sources the planner may select (the
+// "budget for accessing sources", §4.1). Zero means unbounded; negative
+// budgets are rejected.
+func WithSourceBudget(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("negative source budget %d", n)
+		}
+		s.sourceBudget = n
+		s.sourceBudgetSet = true
+		return nil
+	}
+}
+
+// WithFeedbackBudget bounds pay-as-you-go feedback spending. Zero means
+// unbounded; negative budgets are rejected.
+func WithFeedbackBudget(units float64) Option {
+	return func(s *settings) error {
+		if units < 0 {
+			return fmt.Errorf("negative feedback budget %g", units)
+		}
+		s.feedbackBudget = units
+		s.feedbackBudgetSet = true
+		return nil
+	}
+}
+
+// WithSeed sets the deterministic seed for the default synthetic source
+// universe (ignored when WithProvider is given).
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithSyntheticSources sets how many sources the default synthetic
+// universe generates (ignored when WithProvider is given).
+func WithSyntheticSources(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("synthetic source count must be positive, got %d", n)
+		}
+		s.synthSources = n
+		return nil
+	}
+}
+
+// WithProvider points the session at an explicit source backend — files
+// on disk (FromDir, FromFiles), a synthetic universe (Synthetic), or any
+// custom Provider implementation.
+func WithProvider(p Provider) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return fmt.Errorf("nil provider")
+		}
+		s.provider = p
+		return nil
+	}
+}

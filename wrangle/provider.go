@@ -1,0 +1,53 @@
+package wrangle
+
+import (
+	"fmt"
+
+	"repro/internal/sources"
+)
+
+// FromFiles builds a Provider over data files on disk. Each file becomes
+// one source; the format is inferred from the extension (.csv, .json,
+// .kv/.txt, .html). Refreshing a source re-reads its file.
+func FromFiles(paths ...string) (Provider, error) {
+	p, err := sources.NewFileProvider(paths...)
+	if err != nil {
+		return nil, fmt.Errorf("wrangle: %w", err)
+	}
+	return p, nil
+}
+
+// FromDir builds a Provider over every recognised data file directly
+// inside dir (non-recursive).
+func FromDir(dir string) (Provider, error) {
+	p, err := sources.NewDirProvider(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wrangle: %w", err)
+	}
+	return p, nil
+}
+
+// StaticSources builds a Provider over fixed in-memory sources — handy
+// for payloads fetched by the caller (HTTP responses, test fixtures).
+func StaticSources(items ...*Source) Provider { return sources.NewStatic(items...) }
+
+// RawSource builds an in-memory source from a literal payload.
+func RawSource(id string, kind SourceKind, payload string) *Source {
+	return &Source{ID: id, Kind: kind, Raw: payload}
+}
+
+// Synthetic builds the deterministic synthetic universe used by the
+// paper's experiments: a ground-truth world plus nSources imperfect
+// sources derived from it (mixed formats, injected errors, staleness).
+// Finer generation control lives in repro/wrangle/synth.
+func Synthetic(seed int64, domain Domain, nSources int) Provider {
+	cfg := sources.DefaultConfig(seed, nSources)
+	var world *sources.World
+	if domain == Locations {
+		world = sources.NewWorld(seed, 0, 200)
+		cfg.Domain = sources.DomainLocations
+	} else {
+		world = sources.NewWorld(seed, 200, 0)
+	}
+	return sources.Generate(world, cfg)
+}

@@ -1,0 +1,176 @@
+package wrangle
+
+// This file re-exports the user-facing types of the internal packages so
+// public API consumers never import repro/internal/*. Aliases (not
+// wrappers) keep the two views interchangeable inside the module.
+
+import (
+	"io"
+
+	wctx "repro/internal/context"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feedback"
+	"repro/internal/ontology"
+	"repro/internal/quality"
+	"repro/internal/report"
+	"repro/internal/sources"
+)
+
+// Tabular data: the wrangled output and any table a caller supplies
+// (e.g. master data) use this representation.
+type (
+	// Table is an ordered collection of records under a schema.
+	Table = dataset.Table
+	// Schema describes a table's columns.
+	Schema = dataset.Schema
+	// Field is one column of a schema.
+	Field = dataset.Field
+	// Record is one row.
+	Record = dataset.Record
+	// Value is one typed cell.
+	Value = dataset.Value
+	// ValueKind enumerates cell types.
+	ValueKind = dataset.Kind
+)
+
+// Cell kinds.
+const (
+	KindNull   = dataset.KindNull
+	KindString = dataset.KindString
+	KindInt    = dataset.KindInt
+	KindFloat  = dataset.KindFloat
+	KindBool   = dataset.KindBool
+	KindTime   = dataset.KindTime
+)
+
+// Table and value constructors.
+var (
+	// NewTable creates an empty table with the given schema.
+	NewTable = dataset.NewTable
+	// MustSchema builds a schema, panicking on duplicate names.
+	MustSchema = dataset.MustSchema
+	// String, Int, Float, Bool, Time and Null construct cell values.
+	String = dataset.String
+	Int    = dataset.Int
+	Float  = dataset.Float
+	Bool   = dataset.Bool
+	Time   = dataset.Time
+	Null   = dataset.Null
+)
+
+// ReadCSV parses CSV into a table, inferring column kinds.
+func ReadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
+
+// WriteCSV renders a table as CSV.
+func WriteCSV(w io.Writer, t *Table) error { return dataset.WriteCSV(w, t) }
+
+// ReadJSON parses a JSON array of flat objects into a table.
+func ReadJSON(r io.Reader) (*Table, error) { return dataset.ReadJSON(r) }
+
+// WriteJSON renders a table as a JSON array.
+func WriteJSON(w io.Writer, t *Table) error { return dataset.WriteJSON(w, t) }
+
+// User context: weighted quality criteria, elicited directly or via AHP.
+type (
+	// UserContext is a named set of criterion weights plus resource
+	// bounds (source budget, feedback budget).
+	UserContext = wctx.UserContext
+	// Criterion names a quality dimension the user cares about.
+	Criterion = wctx.Criterion
+	// AHP is a Saaty pairwise comparison matrix over criteria.
+	AHP = wctx.AHP
+)
+
+// The standard wrangling criteria.
+const (
+	Accuracy     = wctx.Accuracy
+	Completeness = wctx.Completeness
+	Timeliness   = wctx.Timeliness
+	Consistency  = wctx.Consistency
+	Relevance    = wctx.Relevance
+	Cost         = wctx.Cost
+)
+
+// NewAHP creates an identity comparison matrix over the given criteria.
+func NewAHP(criteria ...Criterion) (*AHP, error) { return wctx.NewAHP(criteria...) }
+
+// BuildUserContext elicits a user context from an AHP matrix, rejecting
+// judgements whose consistency ratio exceeds 0.1.
+func BuildUserContext(name string, a *AHP, maxSources int, feedbackBudget float64) (*UserContext, error) {
+	return wctx.BuildUserContext(name, a, maxSources, feedbackBudget)
+}
+
+// Domain ontologies (the data context's taxonomy slot).
+type (
+	// Taxonomy is a domain ontology consulted by matching & extraction.
+	Taxonomy = ontology.Taxonomy
+)
+
+// ProductTaxonomy returns the built-in e-commerce ontology.
+func ProductTaxonomy() *Taxonomy { return ontology.ProductTaxonomy() }
+
+// LocationTaxonomy returns the built-in business-locations ontology.
+func LocationTaxonomy() *Taxonomy { return ontology.LocationTaxonomy() }
+
+// Sources.
+type (
+	// Provider supplies sources to a session; see FromDir, FromFiles and
+	// Synthetic for built-in backends.
+	Provider = sources.Provider
+	// Source is one data source as a provider publishes it.
+	Source = sources.Source
+	// SourceKind is a source's syntactic format (CSV, JSON, HTML, KV).
+	SourceKind = sources.Kind
+)
+
+// Source formats.
+const (
+	CSV  = sources.KindCSV
+	JSON = sources.KindJSON
+	HTML = sources.KindHTML
+	KV   = sources.KindKV
+)
+
+// Feedback: the pay-as-you-go currency.
+type (
+	// Feedback is one unit of user/crowd feedback.
+	Feedback = feedback.Item
+	// FeedbackKind classifies a feedback item.
+	FeedbackKind = feedback.Kind
+)
+
+// Feedback kinds.
+const (
+	ValueCorrect     = feedback.ValueCorrect
+	ValueIncorrect   = feedback.ValueIncorrect
+	DuplicatePair    = feedback.DuplicatePair
+	NotDuplicatePair = feedback.NotDuplicatePair
+	SourceRelevant   = feedback.SourceRelevant
+	SourceIrrelevant = feedback.SourceIrrelevant
+	WrapperOK        = feedback.WrapperOK
+	WrapperBroken    = feedback.WrapperBroken
+)
+
+// PairKey canonicalises a record-pair identifier for pair feedback.
+func PairKey(a, b string) string { return feedback.PairKey(a, b) }
+
+// Results, statistics and reports.
+type (
+	// RunStats reports what a full (re)computation touched.
+	RunStats = core.RunStats
+	// ReactStats reports the scope of an incremental reaction.
+	ReactStats = core.ReactStats
+	// SourceReport is the per-source line of Session.Snapshot.
+	SourceReport = core.SourceReport
+	// Evaluation scores wrangled output against synthetic ground truth.
+	Evaluation = core.Evaluation
+	// Scorecard carries the per-source quality dimensions.
+	Scorecard = quality.Scorecard
+	// Report is a reviewable snapshot of fused results.
+	Report = report.Report
+	// ReportLine is one (entity, attribute) line of a report.
+	ReportLine = report.Line
+	// ReportSummary aggregates a report.
+	ReportSummary = report.Summary
+)

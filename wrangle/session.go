@@ -1,0 +1,182 @@
+package wrangle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// ErrBudgetExhausted is returned by ApplyFeedback when the user context's
+// feedback budget cannot cover every submitted item. Items that fit were
+// recorded and assimilated; the rest were dropped.
+var ErrBudgetExhausted = errors.New("wrangle: feedback budget exhausted")
+
+// Session is one wrangling lifecycle over a fixed provider and contexts:
+// Run, then any number of ApplyFeedback / Refresh reactions, reading
+// reports and results in between. Methods are safe for concurrent use
+// (they serialise on an internal lock — the underlying pipeline mutates
+// shared working data).
+type Session struct {
+	mu     sync.Mutex
+	w      *core.Wrangler
+	domain Domain
+	ran    bool
+}
+
+// Run executes the full pipeline — extract every source, match and map to
+// the target schema, select sources under the user context, resolve
+// entities, fuse — and returns the wrangled table. The context is checked
+// between pipeline stages; a cancelled run returns ctx.Err().
+func (s *Session) Run(ctx context.Context) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.w.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.ran = true
+	return t, nil
+}
+
+// ApplyFeedback records the given feedback items and reacts
+// incrementally: only the artefacts the provenance graph marks as
+// affected are recomputed (re-extraction for wrapper feedback,
+// reclustering for pair labels, refusion for value verdicts, reselection
+// for relevance votes). Items beyond the user context's feedback budget
+// are dropped and ErrBudgetExhausted is returned alongside the stats of
+// the reaction to the items that fit.
+func (s *Session) ApplyFeedback(ctx context.Context, items ...Feedback) (ReactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireRun(); err != nil {
+		return ReactStats{}, err
+	}
+	// Every item is tried against the budget individually, so a cheap
+	// item after an unaffordable one is still recorded.
+	exhausted := false
+	for _, it := range items {
+		if !s.w.AddFeedback(it) {
+			exhausted = true
+		}
+	}
+	stats, err := s.w.ReactToFeedbackContext(ctx)
+	if err != nil {
+		return stats, err
+	}
+	if exhausted {
+		return stats, ErrBudgetExhausted
+	}
+	return stats, nil
+}
+
+// Refresh re-acquires the named sources from the provider (all sources
+// when none are named) and recomputes each one's extraction chain plus
+// the shared integration tail — the source-churn reaction path.
+func (s *Session) Refresh(ctx context.Context, sourceIDs ...string) (ReactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireRun(); err != nil {
+		return ReactStats{}, err
+	}
+	if len(sourceIDs) == 0 {
+		for _, src := range s.w.Provider.List() {
+			sourceIDs = append(sourceIDs, src.ID)
+		}
+	}
+	// One batch: every named source is re-acquired and re-extracted, then
+	// the shared integration tail runs once.
+	return s.w.RefreshSourcesContext(ctx, sourceIDs)
+}
+
+// Report renders the current fused results as a reviewable report,
+// restricted to the given attributes (none = all). Each line carries the
+// fused value, confidence, conflict flag and supporting sources — the
+// annotation handles that flow back in via ApplyFeedback.
+func (s *Session) Report(title string, attributes ...string) *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return report.Build(s.w, title, attributes)
+}
+
+// Wrangled returns the current wrangled table (nil before Run).
+func (s *Session) Wrangled() *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Wrangled()
+}
+
+// Stats reports what the last full run touched.
+func (s *Session) Stats() RunStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.LastStats
+}
+
+// Snapshot reports per-source selection, utility and quality dimensions
+// from the last selection pass.
+func (s *Session) Snapshot() map[string]SourceReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Snapshot()
+}
+
+// SelectedSources returns the ids of sources used in the last
+// integration.
+func (s *Session) SelectedSources() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.SelectedSources()
+}
+
+// Trust returns the per-source trust map of the last fusion.
+func (s *Session) Trust() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Trust()
+}
+
+// FeedbackSpent returns the total feedback cost recorded so far.
+func (s *Session) FeedbackSpent() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Feedback.Spent()
+}
+
+// BudgetRemaining reports the unspent feedback budget (-1 = unbounded).
+func (s *Session) BudgetRemaining() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.BudgetRemaining()
+}
+
+// Evaluate scores the wrangled table against the synthetic ground truth
+// (zero Evaluation for providers without one, e.g. files on disk).
+func (s *Session) Evaluate() Evaluation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.domain == Locations {
+		return s.w.EvaluateLocations()
+	}
+	return s.w.EvaluateProducts()
+}
+
+// Domain returns the session's wrangling domain.
+func (s *Session) Domain() Domain { return s.domain }
+
+// Provider returns the session's source backend.
+func (s *Session) Provider() Provider {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Provider
+}
+
+func (s *Session) requireRun() error {
+	if !s.ran {
+		return fmt.Errorf("wrangle: session has not run yet — call Run first")
+	}
+	return nil
+}

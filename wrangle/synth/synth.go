@@ -1,0 +1,83 @@
+// Package synth re-exports the synthetic workload generator behind the
+// public API surface: a deterministic ground-truth world (products or
+// business locations) plus derived sources exhibiting the paper's 4 V's —
+// volume (many sources), variety (CSV/JSON/HTML/KV under divergent
+// schemas), veracity (injected typos, nulls, unit drift, staleness,
+// fantasy records) and velocity (price churn over a logical clock).
+//
+// Sessions that just need "some sources" can use wrangle.Synthetic or the
+// default universe; this package is for callers that tune the generator —
+// error rates, format mix, coverage, staleness — the way the experiments
+// do. A *Universe satisfies wrangle.Provider and plugs straight into
+// wrangle.WithProvider.
+package synth
+
+import (
+	"time"
+
+	"repro/internal/sources"
+)
+
+// Re-exported generator types.
+type (
+	// World is the synthetic ground truth: a catalogue of products
+	// and/or businesses whose prices evolve over a logical clock.
+	World = sources.World
+	// Product is one ground-truth catalogue entry.
+	Product = sources.Product
+	// Business is one ground-truth business location.
+	Business = sources.Business
+	// Universe is a world plus the sources derived from it; it
+	// implements wrangle.Provider.
+	Universe = sources.Universe
+	// Config holds the generation knobs (the 4 V's).
+	Config = sources.Config
+	// ErrorRates configures per-field error-injection probabilities.
+	ErrorRates = sources.ErrorRates
+	// Source is one synthetic source with ground-truth annotations.
+	Source = sources.Source
+	// EmittedRecord is one published row with its truth annotations.
+	EmittedRecord = sources.EmittedRecord
+	// Template is the page template of an HTML source.
+	Template = sources.Template
+	// Domain selects products or locations generation.
+	Domain = sources.Domain
+	// Kind is a source's publication format.
+	Kind = sources.Kind
+	// ErrorKind labels an injected veracity error.
+	ErrorKind = sources.ErrorKind
+)
+
+// Generation domains.
+const (
+	DomainProducts  = sources.DomainProducts
+	DomainLocations = sources.DomainLocations
+)
+
+// Source formats.
+const (
+	KindCSV  = sources.KindCSV
+	KindJSON = sources.KindJSON
+	KindHTML = sources.KindHTML
+	KindKV   = sources.KindKV
+)
+
+// NewWorld creates a ground-truth world with the given number of products
+// and businesses, deterministic in seed.
+func NewWorld(seed int64, nProducts, nBusinesses int) *World {
+	return sources.NewWorld(seed, nProducts, nBusinesses)
+}
+
+// Generate derives cfg.NumSources sources from the world.
+func Generate(w *World, cfg Config) *Universe { return sources.Generate(w, cfg) }
+
+// DefaultConfig returns a balanced universe configuration for nSources
+// product sources.
+func DefaultConfig(seed int64, nSources int) Config { return sources.DefaultConfig(seed, nSources) }
+
+// DefaultErrorRates returns the moderate-veracity setting used by most
+// experiments.
+func DefaultErrorRates() ErrorRates { return sources.DefaultErrorRates() }
+
+// AsOf maps a logical world clock to wall-clock time.
+func AsOf(clock int) time.Time { return sources.AsOf(clock) }

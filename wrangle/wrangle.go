@@ -1,0 +1,76 @@
+package wrangle
+
+import (
+	"fmt"
+
+	wctx "repro/internal/context"
+	"repro/internal/core"
+)
+
+// New builds a wrangling session from functional options. With no options
+// it wrangles a small synthetic product universe under a balanced user
+// context — the zero-config path. Options validate eagerly; the first
+// invalid option aborts construction.
+func New(opts ...Option) (*Session, error) {
+	s := &settings{
+		domain:       Products,
+		seed:         1,
+		synthSources: 8,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(s); err != nil {
+			return nil, fmt.Errorf("wrangle: %w", err)
+		}
+	}
+
+	var cfg core.Config
+	switch s.domain {
+	case Locations:
+		cfg = core.LocationConfig()
+	default:
+		cfg = core.ProductConfig()
+	}
+
+	taxonomy := s.taxonomy
+	if !s.taxonomySet {
+		if s.domain == Locations {
+			taxonomy = LocationTaxonomy()
+		} else {
+			taxonomy = ProductTaxonomy()
+		}
+	}
+	dataCtx := wctx.NewDataContext().WithTaxonomy(taxonomy)
+	if s.master != nil {
+		dataCtx.WithMaster(s.master, s.masterKey)
+	}
+
+	userCtx := s.userCtx
+	if s.sourceBudgetSet || s.feedbackBudgetSet {
+		if userCtx == nil {
+			userCtx = wctx.DefaultUserContext()
+		} else {
+			// Budgets override a copy — the caller's context is not mutated.
+			clone := *userCtx
+			userCtx = &clone
+		}
+		if s.sourceBudgetSet {
+			userCtx.MaxSources = s.sourceBudget
+		}
+		if s.feedbackBudgetSet {
+			userCtx.FeedbackBudget = s.feedbackBudget
+		}
+	}
+
+	provider := s.provider
+	if provider == nil {
+		provider = Synthetic(s.seed, s.domain, s.synthSources)
+	}
+
+	return &Session{
+		w:      core.New(provider, cfg, userCtx, dataCtx),
+		domain: s.domain,
+	}, nil
+}

@@ -1,0 +1,328 @@
+package wrangle_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/wrangle"
+)
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  wrangle.Option
+		want string
+	}{
+		{"unknown domain", wrangle.WithDomain("astrology"), "unknown domain"},
+		{"nil taxonomy", wrangle.WithTaxonomy(nil), "nil taxonomy"},
+		{"negative source budget", wrangle.WithSourceBudget(-3), "negative source budget"},
+		{"negative feedback budget", wrangle.WithFeedbackBudget(-0.5), "negative feedback budget"},
+		{"nil provider", wrangle.WithProvider(nil), "nil provider"},
+		{"nil user context", wrangle.WithUserContext(nil), "nil user context"},
+		{"nil ahp", wrangle.WithAHPWeights("x", nil), "nil AHP"},
+		{"zero synthetic sources", wrangle.WithSyntheticSources(0), "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := wrangle.New(tc.opt)
+			if err == nil {
+				t.Fatalf("New(%s) succeeded, want error containing %q", tc.name, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInconsistentAHPRejected(t *testing.T) {
+	ahp, err := wrangle.NewAHP(wrangle.Accuracy, wrangle.Timeliness, wrangle.Completeness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A > T, T > C, but C >> A: circular judgements with high CR.
+	ahp.Set(wrangle.Accuracy, wrangle.Timeliness, 9)
+	ahp.Set(wrangle.Timeliness, wrangle.Completeness, 9)
+	ahp.Set(wrangle.Completeness, wrangle.Accuracy, 9)
+	if _, err := wrangle.New(wrangle.WithAHPWeights("circular", ahp)); err == nil {
+		t.Fatal("inconsistent AHP judgements should fail New")
+	}
+}
+
+func TestMasterDataValidation(t *testing.T) {
+	master := wrangle.NewTable(wrangle.MustSchema(
+		wrangle.Field{Name: "sku", Kind: wrangle.KindString},
+		wrangle.Field{Name: "price", Kind: wrangle.KindFloat},
+	))
+	if _, err := wrangle.New(wrangle.WithMasterData(master, "nope")); err == nil {
+		t.Error("master data without the key column should fail")
+	}
+	if _, err := wrangle.New(wrangle.WithMasterData(nil, "sku")); err == nil {
+		t.Error("nil master data should fail")
+	}
+	if _, err := wrangle.New(wrangle.WithMasterData(master, "sku")); err != nil {
+		t.Errorf("valid master data rejected: %v", err)
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fixtureDir lays out a small on-disk workload: two shops publishing
+// overlapping products in CSV and JSON under different headers.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, dir, "shop-a.csv",
+		"sku,name,brand,price\n"+
+			"A-100,Acme Anvil,Acme,19.99\n"+
+			"A-200,Acme Rocket,Acme,99.50\n")
+	writeFile(t, dir, "shop-b.json",
+		`[{"id":"A-100","title":"Acme Anvil","cost":20.49},`+
+			`{"id":"A-300","title":"Acme Magnet","cost":5.25}]`)
+	return dir
+}
+
+func TestFileProviderRoundTrip(t *testing.T) {
+	p, err := wrangle.FromDir(fixtureDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wrangle.New(wrangle.WithDomain(wrangle.Products), wrangle.WithProvider(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skus := map[string]bool{}
+	kc := table.Schema().Index("sku")
+	if kc < 0 {
+		t.Fatalf("wrangled schema %v has no sku column", table.Schema().Names())
+	}
+	for _, r := range table.Rows() {
+		if !r[kc].IsNull() {
+			skus[r[kc].String()] = true
+		}
+	}
+	for _, want := range []string{"A-100", "A-200", "A-300"} {
+		if !skus[want] {
+			t.Errorf("wrangled output missing entity %s (got %v)", want, skus)
+		}
+	}
+	if table.Len() != 3 {
+		t.Errorf("wrangled %d entities, want 3 (A-100 fused across both shops)", table.Len())
+	}
+	// No synthetic oracle behind files: the evaluation must be zero, not
+	// a crash.
+	if ev := s.Evaluate(); ev.Entities != 0 {
+		t.Errorf("file-backed session evaluated against a ground truth that does not exist: %+v", ev)
+	}
+}
+
+func TestRefreshPicksUpFileEdits(t *testing.T) {
+	dir := fixtureDir(t)
+	p, err := wrangle.FromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wrangle.New(wrangle.WithDomain(wrangle.Products), wrangle.WithProvider(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	priceOf := func(sku string) float64 {
+		t.Helper()
+		table := s.Wrangled()
+		kc, pc := table.Schema().Index("sku"), table.Schema().Index("price")
+		for _, r := range table.Rows() {
+			if !r[kc].IsNull() && r[kc].String() == sku {
+				return r[pc].FloatVal()
+			}
+		}
+		t.Fatalf("entity %s not wrangled", sku)
+		return 0
+	}
+	before := priceOf("A-200")
+	writeFile(t, dir, "shop-a.csv",
+		"sku,name,brand,price\n"+
+			"A-100,Acme Anvil,Acme,19.99\n"+
+			"A-200,Acme Rocket,Acme,149.00\n")
+	stats, err := s.Refresh(context.Background(), "shop-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SourcesReextracted != 1 {
+		t.Errorf("refresh re-extracted %d sources, want 1", stats.SourcesReextracted)
+	}
+	after := priceOf("A-200")
+	if before == after || after != 149.00 {
+		t.Errorf("refresh did not propagate the price edit: before=%.2f after=%.2f want 149.00", before, after)
+	}
+}
+
+func TestFailedRefreshKeepsPreviousData(t *testing.T) {
+	dir := fixtureDir(t)
+	p, err := wrangle.FromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wrangle.New(wrangle.WithDomain(wrangle.Products), wrangle.WithProvider(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Wrangled().Len()
+	// Truncate the file: extraction of the refreshed payload must fail,
+	// and the source's previous working data must survive it.
+	writeFile(t, dir, "shop-a.csv", "")
+	if _, err := s.Refresh(context.Background(), "shop-a"); err == nil {
+		t.Fatal("refresh of a truncated CSV should report the extraction error")
+	}
+	if after := s.Wrangled().Len(); after != before {
+		t.Errorf("failed refresh dropped data: %d entities -> %d", before, after)
+	}
+	kc := s.Wrangled().Schema().Index("sku")
+	found := false
+	for _, r := range s.Wrangled().Rows() {
+		if !r[kc].IsNull() && r[kc].String() == "A-200" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("entity A-200 (from the failed source's previous extraction) vanished")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	s, err := wrangle.New(wrangle.WithSeed(7), wrangle.WithSyntheticSources(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first stage boundary check
+	if _, err := s.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled context = %v, want context.Canceled", err)
+	}
+	// The session recovers: a live context completes the run.
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run after cancellation failed: %v", err)
+	}
+}
+
+func TestLifecycleOrderEnforced(t *testing.T) {
+	s, err := wrangle.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyFeedback(context.Background()); err == nil {
+		t.Error("ApplyFeedback before Run should error")
+	}
+	if _, err := s.Refresh(context.Background()); err == nil {
+		t.Error("Refresh before Run should error")
+	}
+}
+
+func TestFeedbackBudgetExhaustion(t *testing.T) {
+	s, err := wrangle.New(
+		wrangle.WithSeed(3),
+		wrangle.WithSyntheticSources(5),
+		wrangle.WithFeedbackBudget(1.0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	src := s.SelectedSources()[0]
+	items := make([]wrangle.Feedback, 4)
+	for i := range items {
+		items[i] = wrangle.Feedback{
+			Kind: wrangle.ValueIncorrect, SourceID: src,
+			Entity: "SKU-00001", Attribute: "price", Cost: 0.5,
+		}
+	}
+	_, err = s.ApplyFeedback(context.Background(), items...)
+	if !errors.Is(err, wrangle.ErrBudgetExhausted) {
+		t.Fatalf("ApplyFeedback over budget = %v, want ErrBudgetExhausted", err)
+	}
+	if rem := s.BudgetRemaining(); rem != 0 {
+		t.Errorf("BudgetRemaining = %g, want 0", rem)
+	}
+}
+
+func TestCancelledFeedbackReactionIsRetried(t *testing.T) {
+	s, err := wrangle.New(wrangle.WithSeed(9), wrangle.WithSyntheticSources(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	item := wrangle.Feedback{
+		Kind: wrangle.ValueIncorrect, SourceID: s.SelectedSources()[0],
+		Entity: "SKU-00001", Attribute: "price", Cost: 0.5,
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ApplyFeedback(cancelled, item); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyFeedback with cancelled context = %v, want context.Canceled", err)
+	}
+	// The item was recorded but not assimilated; a later reaction must
+	// pick it up rather than drop it.
+	stats, err := s.ApplyFeedback(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FeedbackItems != 1 || !stats.Refused {
+		t.Errorf("retry reaction = %+v, want the pending item assimilated (FeedbackItems=1, Refused)", stats)
+	}
+}
+
+func TestFeedbackLowersTrustAndReport(t *testing.T) {
+	s, err := wrangle.New(wrangle.WithSeed(5), wrangle.WithSyntheticSources(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report("prices", "price")
+	if len(rep.Lines) == 0 {
+		t.Fatal("price report is empty")
+	}
+	suspect := s.SelectedSources()[0]
+	var items []wrangle.Feedback
+	for i := 0; i < 5; i++ {
+		items = append(items, wrangle.Feedback{
+			Kind: wrangle.ValueIncorrect, SourceID: suspect,
+			Entity: rep.Lines[0].Entity, Attribute: "price", Cost: 0.5,
+		})
+	}
+	stats, err := s.ApplyFeedback(context.Background(), items...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Refused {
+		t.Error("value feedback should trigger refusion")
+	}
+	if tr, ok := s.Trust()[suspect]; !ok || tr >= 0.5 {
+		t.Errorf("trust[%s] = %.2f (ok=%v), want < 0.5 after 5 incorrect-value verdicts", suspect, tr, ok)
+	}
+}
