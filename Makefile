@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test race bench
 
 check: build vet test
 
@@ -16,5 +16,13 @@ vet:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# bench prints the experiment benchmark suite (E1-E10, F1), then records
+# the engine scaling benchmark (1/2/4/8 workers over a 24-source universe)
+# as test2json events in BENCH_PR2.json — the PR-over-PR perf trajectory.
+# The patterns are disjoint so nothing runs twice.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
+	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json

@@ -7,10 +7,47 @@ package repro
 // number alongside ns/op.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/wrangle"
 )
+
+// BenchmarkEngineParallelSources measures the engine's per-source fan-out
+// on a multi-source wrangle: one synthetic product universe with many
+// sources, wrangled end to end at 1/2/4/8 workers. Per-source
+// extract/match/map chains dominate the run, so wall-clock should shrink
+// with workers up to the machine's core count (the sequential
+// select/integrate/fuse tail bounds the Amdahl ceiling). Output is
+// byte-identical at every worker count; only the speed changes. `make
+// bench` writes this table to BENCH_PR2.json to seed the perf trajectory.
+func BenchmarkEngineParallelSources(b *testing.B) {
+	// One universe shared across worker counts: Run never mutates the
+	// provider, and reusing it keeps generation cost out of the loop.
+	provider := wrangle.Synthetic(3, wrangle.Products, 24)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := wrangle.New(
+					wrangle.WithProvider(provider),
+					wrangle.WithParallelism(workers),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := s.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() == 0 {
+					b.Fatal("no wrangled rows")
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkE1ManualVsAutomated(b *testing.B) {
 	var share float64

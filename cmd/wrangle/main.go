@@ -8,7 +8,7 @@
 //
 //	wrangle [-seed N] [-sources N] [-domain products|locations]
 //	        [-context balanced|routine|investigation] [-max-sources N]
-//	        [-csv out.csv]
+//	        [-parallelism N] [-csv out.csv]
 package main
 
 import (
@@ -28,10 +28,20 @@ func main() {
 	domain := flag.String("domain", "products", "products or locations")
 	ctxName := flag.String("context", "balanced", "user context: balanced, routine or investigation")
 	maxSources := flag.Int("max-sources", 0, "source budget (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "per-source worker bound (0 = one per CPU, 1 = sequential)")
 	csvOut := flag.String("csv", "", "write wrangled table as CSV to this file")
 	flag.Parse()
 
+	if *parallelism < 0 {
+		fmt.Fprintf(os.Stderr, "wrangle: parallelism must be >= 1, or 0 for one worker per CPU (got %d)\n", *parallelism)
+		os.Exit(2)
+	}
 	opts := []wrangle.Option{wrangle.WithSourceBudget(*maxSources)}
+	if *parallelism >= 1 {
+		// Output is byte-identical at any worker count; the flag only
+		// trades wall-clock for cores.
+		opts = append(opts, wrangle.WithParallelism(*parallelism))
+	}
 	var u *synth.Universe
 	switch *domain {
 	case "locations":

@@ -10,10 +10,14 @@
 //
 // Start at repro/wrangle — the public facade (sessions, functional
 // options, pluggable source providers) and the only supported import
-// surface; everything under internal/ is free to churn. README.md holds
-// the quickstart and CLI usage, ROADMAP.md the north star and open
-// items, and repro/wrangle/experiments the paper-claim experiment index
-// that cmd/experiments prints.
+// surface; everything under internal/ is free to churn. Behind the
+// facade, internal/engine executes each run as a task DAG on a bounded
+// worker pool: per-source extraction chains fan out in parallel
+// (WithParallelism / WithSequential) and merge deterministically, so a
+// parallel run is byte-identical to a sequential one. README.md holds
+// the quickstart, CLI usage and the architecture diagram, ROADMAP.md
+// the north star and open items, and repro/wrangle/experiments the
+// paper-claim experiment index that cmd/experiments prints.
 //
 // The root package holds the benchmark suite (bench_test.go): one
 // testing.B benchmark per experiment, regenerating the tables that

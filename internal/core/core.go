@@ -12,12 +12,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
 	wctx "repro/internal/context"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/er"
 	"repro/internal/extract"
 	"repro/internal/feedback"
@@ -104,7 +106,12 @@ type RunStats struct {
 	RowsWrangled     int
 	Reextracted      []string // sources whose extraction was recomputed
 	WrapperRepairs   int
-	Duration         time.Duration
+	// Failures records the sources skipped by best-effort processing:
+	// source id → error text. Panics carry the captured stack, so a
+	// programming bug that poisons a source stays visible even though it
+	// no longer fails the run.
+	Failures map[string]string
+	Duration time.Duration
 }
 
 // Wrangler is the Figure-1 architecture instance. Sources arrive through
@@ -117,6 +124,12 @@ type Wrangler struct {
 	Feedback *feedback.Store
 	Prov     *provenance.Graph
 	Config   Config
+	// Parallelism bounds how many sources are processed concurrently:
+	// 0 means auto (one worker per CPU), 1 forces sequential execution,
+	// n > 1 uses n workers. Parallel runs are byte-identical to
+	// sequential ones — per-source work fans out on the engine, results
+	// merge in stable provider order.
+	Parallelism int
 
 	states       map[string]*sourceState
 	resolver     *er.Resolver
@@ -160,69 +173,152 @@ func (w *Wrangler) Run() (*dataset.Table, error) {
 	return w.RunContext(context.Background())
 }
 
-// RunContext is Run with cooperative cancellation: the context is checked
-// between per-source processing steps and between the pipeline stages
-// (extraction/selection/integration), so a caller can abandon a long
-// wrangle mid-flight. A cancelled run returns ctx.Err() and leaves the
-// working data in whatever state the completed steps produced.
+// RunContext is Run with cooperative cancellation. The run is executed as
+// a task DAG on the engine: every source's extract/match/map chain is an
+// independent task fanning out over Parallelism workers, a barrier merges
+// the per-source outcomes in stable provider order and feeds selection,
+// then integration and fusion run. Cancellation is checked at every task
+// boundary, so a caller can abandon a long wrangle mid-fan-out: the run
+// returns ctx.Err() and no partially-fanned-out outcome is merged into
+// the working data.
 func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	start := time.Now()
 	w.LastStats = RunStats{}
-	for _, s := range w.Provider.List() {
-		if err := ctx.Err(); err != nil {
+	srcs := w.Provider.List()
+	outcomes := make([]*sourceOutcome, len(srcs))
+	g := engine.NewGraph()
+	deps := make([]string, len(srcs))
+	for i, s := range srcs {
+		i, s := i, s
+		prev := w.states[s.ID] // read before fan-out; installs happen at the barrier
+		deps[i] = fmt.Sprintf("source[%03d] %s", i, s.ID)
+		if err := g.Add(deps[i], func(context.Context) error {
+			// Per-source failures are recorded in the outcome, not
+			// returned: a source that cannot be wrangled is skipped, not
+			// fatal — best-effort is the contract (§2.1).
+			outcomes[i] = w.computeSource(s, prev, false)
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		if err := w.processSource(s); err != nil {
-			// A source that cannot be wrangled is skipped, not fatal —
-			// best-effort is the contract (§2.1).
-			continue
+	}
+	if err := g.Add("select", func(context.Context) error {
+		for _, o := range outcomes {
+			_ = w.installOutcome(o)
 		}
-	}
-	if err := ctx.Err(); err != nil {
+		w.selectSources()
+		return nil
+	}, deps...); err != nil {
 		return nil, err
 	}
-	w.selectSources()
-	if err := ctx.Err(); err != nil {
+	if err := g.Add("integrate", func(context.Context) error {
+		return w.integrate()
+	}, "select"); err != nil {
 		return nil, err
 	}
-	if err := w.integrate(); err != nil {
+	if err := g.Run(ctx, w.workers()); err != nil {
 		return nil, err
 	}
 	w.LastStats.Duration = time.Since(start)
 	return w.wrangled, nil
 }
 
-// processSource extracts, matches, maps and scores one source, recording
-// provenance. It is the unit of incremental recomputation.
-func (w *Wrangler) processSource(s *sources.Source) error {
-	st := &sourceState{}
+// workers resolves the wrangler's configured parallelism degree.
+func (w *Wrangler) workers() int { return engine.Workers(w.Parallelism) }
+
+// provPut is a deferred provenance registration. Outcomes carry their puts
+// instead of writing to the graph directly, so the merge step can replay
+// them in stable source order — provenance steps stay deterministic under
+// parallel execution.
+type provPut struct {
+	ref       provenance.Ref
+	component string
+	inputs    []provenance.Ref
+	note      string
+}
+
+// sourceOutcome is everything processing one source produces, kept off the
+// shared working data until installOutcome merges it. computeSource fills
+// it concurrently; installOutcome applies it under the run's merge order.
+type sourceOutcome struct {
+	id        string
+	st        *sourceState
+	extracted bool // the extraction stage succeeded
+	rows      int  // rows extracted
+	repairs   int  // wrapper repairs performed
+	prov      []provPut
+	err       error
+}
+
+func (o *sourceOutcome) put(ref provenance.Ref, component string, inputs []provenance.Ref, note string) {
+	o.prov = append(o.prov, provPut{ref: ref, component: component, inputs: inputs, note: note})
+}
+
+// computeSource runs one source's extract/match/map/score chain against a
+// snapshot of the previous state. It only reads shared working data
+// (contexts, config, master data); every result — new state, stats
+// deltas, provenance records, the error — goes into the returned outcome,
+// which makes it safe to run for many sources concurrently. It is the
+// unit of incremental recomputation and the unit the engine parallelises.
+//
+// A panic anywhere in the chain is confined to this source: it becomes
+// the outcome's error (carrying the captured stack, surfaced through
+// RunStats.Failures), so a poisoned source is skipped like any other
+// broken one instead of failing the run (best-effort, §2.1).
+//
+// reinduce discards the previously induced wrapper so HTML extraction
+// re-learns it from scratch — the wrapper_broken feedback reaction.
+// Otherwise a clone of the stored wrapper is reused and only repaired
+// (extractions of structurally untouched sources are not re-learned).
+func (w *Wrangler) computeSource(s *sources.Source, prev *sourceState, reinduce bool) (o *sourceOutcome) {
+	o = &sourceOutcome{id: s.ID, st: &sourceState{}}
+	defer func() {
+		if r := recover(); r != nil {
+			o.err = fmt.Errorf("core: source %s panicked: %v\n%s", o.id, r, debug.Stack())
+		}
+	}()
+	st := o.st
 	// A re-processed source (refresh, wrapper repair) keeps its selection:
 	// incremental reactions must not silently drop it from integration.
-	// The new state is only installed on success (deferred below), so a
-	// failed re-processing keeps the previous good working data too.
-	if prev, ok := w.states[s.ID]; ok {
+	// The new state is only installed on success, so a failed
+	// re-processing keeps the previous good working data too.
+	if prev != nil {
 		st.selected = prev.selected
+		if !reinduce {
+			// Cloned because Repair relabels wrapper fields in place; the
+			// stored wrapper must stay untouched if this processing fails.
+			st.wrapper = prev.wrapper.Clone()
+		}
 	}
-	w.LastStats.SourcesProcessed++
 	srcRef := provenance.Ref{Kind: provenance.KindSource, ID: s.ID}
-	w.Prov.Put(srcRef, "sources", nil, string(s.Kind))
+	o.put(srcRef, "sources", nil, string(s.Kind))
 
 	// --- Data Extraction ---
-	tab, err := w.extractSource(s, st)
+	reusingWrapper := st.wrapper != nil
+	tab, repairs, err := w.extractSource(s, st)
 	if err != nil {
-		return err
+		o.err = err
+		return o
 	}
 	st.extracted = tab
-	w.LastStats.RowsExtracted += tab.Len()
-	w.LastStats.Reextracted = append(w.LastStats.Reextracted, s.ID)
+	o.extracted = true
+	o.rows = tab.Len()
+	o.repairs = repairs
 	extRef := provenance.Ref{Kind: provenance.KindExtraction, ID: s.ID}
 	inputs := []provenance.Ref{srcRef}
 	if st.wrapper != nil {
+		// Provenance must say what actually happened: a wrapper carried
+		// over from the previous round and merely repaired is not a fresh
+		// induction (unless repair had to re-induce it).
+		comp := "extract.Induce"
+		if reusingWrapper && repairs == 0 {
+			comp = "extract.Reuse"
+		}
 		wrapRef := provenance.Ref{Kind: provenance.KindWrapper, ID: s.ID}
-		w.Prov.Put(wrapRef, "extract.Induce", []provenance.Ref{srcRef}, "")
+		o.put(wrapRef, comp, []provenance.Ref{srcRef}, "")
 		inputs = append(inputs, wrapRef)
 	}
-	w.Prov.Put(extRef, "extract.Run", inputs, "")
+	o.put(extRef, "extract.Run", inputs, "")
 
 	// --- Matching & mapping (Data Integration, schema level) ---
 	opts := []match.Option{}
@@ -235,21 +331,24 @@ func (w *Wrangler) processSource(s *sources.Source) error {
 	matcher := match.NewMatcher(w.Config.Target, opts...)
 	corrs, err := matcher.Match(tab)
 	if err != nil {
-		return fmt.Errorf("core: match %s: %w", s.ID, err)
+		o.err = fmt.Errorf("core: match %s: %w", s.ID, err)
+		return o
 	}
 	m := mapping.Generate("map-"+s.ID, s.ID, w.Config.Target, corrs)
 	st.mapping = m
 	mapRef := provenance.Ref{Kind: provenance.KindMapping, ID: s.ID}
-	w.Prov.Put(mapRef, "mapping.Generate", []provenance.Ref{extRef}, "")
+	o.put(mapRef, "mapping.Generate", []provenance.Ref{extRef}, "")
 
 	q, err := mapping.EstimateQuality(m, tab, w.DataCtx.MasterData, w.Config.KeyColumn)
 	if err != nil {
-		return fmt.Errorf("core: estimate quality %s: %w", s.ID, err)
+		o.err = fmt.Errorf("core: estimate quality %s: %w", s.ID, err)
+		return o
 	}
 	st.quality = q
 	mapped, err := m.Apply(tab)
 	if err != nil {
-		return fmt.Errorf("core: apply mapping %s: %w", s.ID, err)
+		o.err = fmt.Errorf("core: apply mapping %s: %w", s.ID, err)
+		return o
 	}
 	// Corroborate against master data: systematic unit drift (prices in
 	// cents) is an extraction-level error repaired before integration.
@@ -264,24 +363,56 @@ func (w *Wrangler) processSource(s *sources.Source) error {
 	sc, err := quality.Assess(mapped, w.DataCtx.MasterData, w.Config.KeyColumn,
 		w.Config.TimeColumn, sources.AsOf(w.Provider.Clock()), 24*time.Hour, nil)
 	if err != nil {
-		return fmt.Errorf("core: assess %s: %w", s.ID, err)
+		o.err = fmt.Errorf("core: assess %s: %w", s.ID, err)
+		return o
 	}
 	st.scorecard = sc
-	w.Prov.Put(provenance.Ref{Kind: provenance.KindQuality, ID: s.ID}, "quality.Assess", []provenance.Ref{mapRef}, "")
-	w.states[s.ID] = st
+	o.put(provenance.Ref{Kind: provenance.KindQuality, ID: s.ID}, "quality.Assess", []provenance.Ref{mapRef}, "")
+	return o
+}
+
+// installOutcome merges one outcome into the shared working data: run
+// stats, provenance records and — on success — the new source state.
+// Callers invoke it in stable source order, which is what makes a
+// parallel run's working data byte-identical to a sequential run's. A
+// failed outcome still contributes the stats and provenance of the stages
+// it completed (exactly as the sequential pipeline did) and returns the
+// error without touching the stored state.
+func (w *Wrangler) installOutcome(o *sourceOutcome) error {
+	w.LastStats.SourcesProcessed++
+	for _, p := range o.prov {
+		w.Prov.Put(p.ref, p.component, p.inputs, p.note)
+	}
+	if o.extracted {
+		w.LastStats.RowsExtracted += o.rows
+		w.LastStats.Reextracted = append(w.LastStats.Reextracted, o.id)
+		w.LastStats.WrapperRepairs += o.repairs
+	}
+	if o.err != nil {
+		if w.LastStats.Failures == nil {
+			w.LastStats.Failures = map[string]string{}
+		}
+		w.LastStats.Failures[o.id] = o.err.Error()
+		return o.err
+	}
+	w.states[o.id] = o.st
 	return nil
 }
 
 // extractSource turns a raw source into a table: codec parse for CSV/JSON,
-// wrapper induction + execution (+ repair) for HTML.
-func (w *Wrangler) extractSource(s *sources.Source, st *sourceState) (*dataset.Table, error) {
+// wrapper induction + execution (+ repair) for HTML. It reports how many
+// wrapper repairs were performed alongside the table.
+func (w *Wrangler) extractSource(s *sources.Source, st *sourceState) (*dataset.Table, int, error) {
 	switch s.Kind {
 	case sources.KindCSV:
-		return dataset.ReadCSV(strings.NewReader(s.Payload()))
+		tab, err := dataset.ReadCSV(strings.NewReader(s.Payload()))
+		return tab, 0, err
 	case sources.KindJSON:
-		return dataset.ReadJSON(strings.NewReader(s.Payload()))
+		tab, err := dataset.ReadJSON(strings.NewReader(s.Payload()))
+		return tab, 0, err
 	case sources.KindKV:
-		return dataset.ReadKV(strings.NewReader(s.Payload()))
+		tab, err := dataset.ReadKV(strings.NewReader(s.Payload()))
+		return tab, 0, err
 	case sources.KindHTML:
 		page := html.Parse(s.Payload())
 		wr := st.wrapper
@@ -289,21 +420,22 @@ func (w *Wrangler) extractSource(s *sources.Source, st *sourceState) (*dataset.T
 			var err error
 			wr, err = extract.Induce(s.ID, page, w.DataCtx.Taxonomy)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		// Joint wrapper+data repair, informed by master data when present.
 		wr2, tab, rep, err := extract.Repair(wr, page, w.DataCtx.MasterData, w.DataCtx.Taxonomy)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		repairs := 0
 		if rep.Reinduced {
-			w.LastStats.WrapperRepairs++
+			repairs = 1
 		}
 		st.wrapper = wr2
-		return tab, nil
+		return tab, repairs, nil
 	default:
-		return nil, fmt.Errorf("core: unknown source kind %q", s.Kind)
+		return nil, 0, fmt.Errorf("core: unknown source kind %q", s.Kind)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/feedback"
 	"repro/internal/provenance"
 	"repro/internal/sources"
@@ -73,20 +75,34 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 			needReselect = true
 		}
 	}
+	// Wrapper-feedback re-extractions are independent per source, so they
+	// fan out on the engine like a run's extraction stage; outcomes merge
+	// in sorted source order so the reaction stays deterministic. The
+	// stored wrapper is discarded (reinduce): the feedback says it is
+	// broken, so repair alone is not enough.
+	ids := make([]string, 0, len(reextract))
 	for id := range reextract {
-		if err := ctx.Err(); err != nil {
-			return stats, err
-		}
-		s := w.Provider.Lookup(id)
-		if s == nil {
-			continue
-		}
-		// Invalidate the wrapper so extraction re-induces/repairs.
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Invalidate the flagged wrappers up front: even if this reaction
+	// fails or is cancelled, a wrapper the user reported broken must not
+	// be reused by a later run or refresh.
+	for _, id := range ids {
 		if st, ok := w.states[id]; ok {
 			st.wrapper = nil
 		}
-		if err := w.processSource(s); err != nil {
-			return stats, fmt.Errorf("core: react re-extract %s: %w", id, err)
+	}
+	outcomes, err := w.computeSources(ctx, ids, w.Provider.Lookup, true)
+	if err != nil {
+		return stats, err
+	}
+	for _, o := range outcomes {
+		if o == nil {
+			continue // unknown source id: nothing to re-extract
+		}
+		if err := w.installOutcome(o); err != nil {
+			return stats, fmt.Errorf("core: react re-extract %s: %w", o.id, err)
 		}
 		stats.SourcesReextracted++
 		stats.Remapped++
@@ -131,28 +147,60 @@ func (w *Wrangler) RefreshSourceContext(ctx context.Context, id string) (ReactSt
 	return w.RefreshSourcesContext(ctx, []string{id})
 }
 
+// computeSources re-processes the named sources through the engine:
+// acquire turns an id into a source (Lookup for reactions, Refresh for
+// churn) and runs serially — providers may mutate shared state when
+// re-acquiring — then the expensive extract/match/map chains fan out over
+// the wrangler's worker bound. reinduce discards stored wrappers (the
+// wrapper_broken reaction); otherwise they are reused and repaired. The
+// returned outcomes are in ids order (nil where acquire returned no
+// source), ready for an in-order merge.
+func (w *Wrangler) computeSources(ctx context.Context, ids []string, acquire func(string) *sources.Source, reinduce bool) ([]*sourceOutcome, error) {
+	type job struct {
+		src  *sources.Source
+		prev *sourceState
+	}
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s := acquire(id); s != nil {
+			jobs[i] = &job{src: s, prev: w.states[id]}
+		}
+	}
+	return engine.MapSlice(ctx, w.workers(), jobs, func(_ context.Context, j *job) (*sourceOutcome, error) {
+		if j == nil {
+			return nil, nil
+		}
+		return w.computeSource(j.src, j.prev, reinduce), nil
+	})
+}
+
 // RefreshSourcesContext refreshes a batch of sources and recomputes the
 // shared integration tail once — not once per source, which is the
-// expensive part of a refresh. Per-source failures are best-effort (like
-// Run): the failing source keeps its previous working data, the rest of
-// the batch and the integration tail still run, and the collected errors
-// are returned alongside the stats of what did happen. Only cancellation
-// aborts the batch.
+// expensive part of a refresh. Re-acquisition is serial (the provider may
+// mutate shared state), the per-source extraction chains run on the
+// engine, and outcomes merge in batch order. Per-source failures are
+// best-effort (like Run): the failing source keeps its previous working
+// data, the rest of the batch and the integration tail still run, and the
+// collected errors are returned alongside the stats of what did happen.
+// Only cancellation aborts the batch.
 func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (ReactStats, error) {
 	start := time.Now()
 	var stats ReactStats
 	var errs []error
-	for _, id := range ids {
-		if err := ctx.Err(); err != nil {
-			return stats, err
-		}
-		s := w.Provider.Refresh(id)
-		if s == nil {
-			errs = append(errs, fmt.Errorf("core: unknown source %q", id))
+	outcomes, err := w.computeSources(ctx, ids, w.Provider.Refresh, false)
+	if err != nil {
+		return stats, err
+	}
+	for i, o := range outcomes {
+		if o == nil {
+			errs = append(errs, fmt.Errorf("core: unknown source %q", ids[i]))
 			continue
 		}
-		if err := w.processSource(s); err != nil {
-			errs = append(errs, fmt.Errorf("core: refresh %s: %w", id, err))
+		if err := w.installOutcome(o); err != nil {
+			errs = append(errs, fmt.Errorf("core: refresh %s: %w", o.id, err))
 			continue
 		}
 		stats.SourcesReextracted++

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sources"
+)
+
+// runFingerprint renders everything externally observable about a
+// completed run: the wrangled table bytes, stats, selection, trust and
+// provenance-visible re-extraction order. Two runs with equal
+// fingerprints are byte-identical for every consumer of the wrangler.
+func runFingerprint(t *testing.T, w *Wrangler) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(w.Wrangled().String())
+	fmt.Fprintf(&b, "processed=%d selected=%d rowsExtracted=%d rowsWrangled=%d repairs=%d\n",
+		w.LastStats.SourcesProcessed, w.LastStats.SourcesSelected,
+		w.LastStats.RowsExtracted, w.LastStats.RowsWrangled, w.LastStats.WrapperRepairs)
+	fmt.Fprintf(&b, "reextracted=%v\n", w.LastStats.Reextracted)
+	failIDs := make([]string, 0, len(w.LastStats.Failures))
+	for id := range w.LastStats.Failures {
+		failIDs = append(failIDs, id)
+	}
+	sort.Strings(failIDs)
+	fmt.Fprintf(&b, "failures=%v\n", failIDs)
+	fmt.Fprintf(&b, "selectedIDs=%v\n", w.SelectedSources())
+	trustIDs := make([]string, 0, len(w.Trust()))
+	for id := range w.Trust() {
+		trustIDs = append(trustIDs, id)
+	}
+	sort.Strings(trustIDs)
+	for _, id := range trustIDs {
+		fmt.Fprintf(&b, "trust[%s]=%.6f\n", id, w.Trust()[id])
+	}
+	fmt.Fprintf(&b, "prov=%d\n", w.Prov.Len())
+	return b.String()
+}
+
+// TestParallelRunByteIdenticalToSequential is the engine's determinism
+// contract: the same universe wrangled sequentially and with 2, 4 and 8
+// workers must produce identical wrangled bytes, stats and working data.
+func TestParallelRunByteIdenticalToSequential(t *testing.T) {
+	newWrangler := func(parallelism int) *Wrangler {
+		u := buildUniverse(77, 14, false)
+		w := New(u, ProductConfig(), nil, fullDataCtx(u))
+		w.Parallelism = parallelism
+		return w
+	}
+	seq := newWrangler(1)
+	if _, err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := runFingerprint(t, seq)
+	if !strings.Contains(want, "SKU") {
+		t.Fatalf("sequential run produced no data:\n%s", want)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := newWrangler(workers)
+		if _, err := par.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := runFingerprint(t, par); got != want {
+			t.Errorf("workers=%d: run diverged from sequential run\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// TestParallelRefreshByteIdenticalToSequential covers the batched refresh
+// path: after the same churn, a parallel batch refresh must leave the
+// working data identical to a sequential one.
+func TestParallelRefreshByteIdenticalToSequential(t *testing.T) {
+	run := func(parallelism int) string {
+		u := buildUniverse(91, 10, false)
+		w := New(u, ProductConfig(), nil, fullDataCtx(u))
+		w.Parallelism = parallelism
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		u.World.Evolve(0.2)
+		var ids []string
+		for _, s := range u.Sources {
+			ids = append(ids, s.ID)
+		}
+		if _, err := w.RefreshSourcesContext(context.Background(), ids); err != nil {
+			t.Fatalf("parallelism=%d refresh: %v", parallelism, err)
+		}
+		return runFingerprint(t, w)
+	}
+	want := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: refresh diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// TestRunCancellationLeavesStateConsistent cancels a run mid-fan-out and
+// checks the contract: ctx.Err() comes back, and no source was merged or
+// marked selected — outcomes only install at the selection barrier.
+func TestRunCancellationLeavesStateConsistent(t *testing.T) {
+	u := buildUniverse(55, 12, false)
+	w := New(u, ProductConfig(), nil, fullDataCtx(u))
+	w.Parallelism = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the fan-out dispatches anything
+	if _, err := w.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if w.Wrangled() != nil {
+		t.Error("cancelled run produced a wrangled table")
+	}
+	if got := w.SelectedSources(); len(got) != 0 {
+		t.Errorf("cancelled run selected sources %v", got)
+	}
+	if len(w.states) != 0 {
+		t.Errorf("cancelled run installed %d source states", len(w.states))
+	}
+}
+
+// TestWrapperReuseAndReinduction pins the wrapper lifecycle: a
+// re-processed HTML source reuses (a clone of) its stored wrapper and
+// only repairs it, while reinduce — the wrapper_broken reaction —
+// discards it and learns afresh.
+func TestWrapperReuseAndReinduction(t *testing.T) {
+	u := buildUniverse(42, 12, false)
+	w := New(u, ProductConfig(), nil, fullDataCtx(u))
+	var s *sources.Source
+	for _, c := range u.Sources {
+		if c.Kind == sources.KindHTML {
+			s = c
+			break
+		}
+	}
+	if s == nil {
+		t.Fatal("universe has no HTML source")
+	}
+	first := w.computeSource(s, nil, false)
+	if first.err != nil || first.st.wrapper == nil {
+		t.Fatalf("first processing: err=%v, wrapper=%v", first.err, first.st.wrapper)
+	}
+	reused := w.computeSource(s, first.st, false)
+	if reused.err != nil {
+		t.Fatal(reused.err)
+	}
+	if reused.st.wrapper == first.st.wrapper {
+		t.Error("wrapper aliased instead of cloned — repair would mutate stored state")
+	}
+	if reused.repairs != 0 {
+		t.Errorf("reusing the wrapper on an unchanged page re-induced it (%d repairs)", reused.repairs)
+	}
+	if reused.st.wrapper.RecordSelector != first.st.wrapper.RecordSelector {
+		t.Error("reused wrapper lost its record selector")
+	}
+	reinduced := w.computeSource(s, first.st, true)
+	if reinduced.err != nil || reinduced.st.wrapper == nil {
+		t.Fatalf("reinduction: err=%v, wrapper=%v", reinduced.err, reinduced.st.wrapper)
+	}
+}
+
+// panickingClockProvider panics on its first Clock call — which happens
+// inside the first source's compute chain (quality assessment) — and
+// behaves normally afterwards. It simulates a backend blowing up mid-
+// processing for exactly one source.
+type panickingClockProvider struct {
+	sources.Provider
+	fired bool
+}
+
+func (p *panickingClockProvider) Clock() int {
+	if !p.fired {
+		p.fired = true
+		panic("clock exploded")
+	}
+	return p.Provider.Clock()
+}
+
+// TestRunIsolatesPanickingSource proves the panic-isolation contract: a
+// panic inside one source's compute chain turns into that source's error
+// — the source is skipped, every other source lands, the run succeeds.
+func TestRunIsolatesPanickingSource(t *testing.T) {
+	u := buildUniverse(61, 6, true)
+	w := New(&panickingClockProvider{Provider: u}, ProductConfig(), nil, fullDataCtx(u))
+	w.Parallelism = 1 // deterministic victim: the first source's chain panics
+	out, err := w.Run()
+	if err != nil {
+		t.Fatalf("run failed instead of isolating the panic: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no wrangled rows")
+	}
+	if w.LastStats.SourcesProcessed != 6 {
+		t.Errorf("SourcesProcessed = %d, want 6", w.LastStats.SourcesProcessed)
+	}
+	if len(w.states) != 5 {
+		t.Errorf("%d sources installed, want 5 (panicking one skipped)", len(w.states))
+	}
+	for _, id := range w.SelectedSources() {
+		if _, ok := w.states[id]; !ok {
+			t.Errorf("selected source %s has no installed state", id)
+		}
+	}
+	// The panic is isolated but not silent: the failure (with its stack)
+	// is on the record.
+	if len(w.LastStats.Failures) != 1 {
+		t.Fatalf("Failures = %v, want exactly one entry", w.LastStats.Failures)
+	}
+	for _, msg := range w.LastStats.Failures {
+		if !strings.Contains(msg, "panicked: clock exploded") || !strings.Contains(msg, "goroutine") {
+			t.Errorf("failure record lacks panic message or stack:\n%s", msg)
+		}
+	}
+}
+
+// TestRunSkipsPoisonedSource proves error isolation end to end: a source
+// whose extraction errors is skipped like any other broken source instead
+// of crashing the run.
+func TestRunSkipsPoisonedSource(t *testing.T) {
+	u := buildUniverse(61, 6, true)
+	// An unknown kind makes extractSource error; a nil-template HTML
+	// source exercises the repair path's defences. Add a source that is
+	// outright broken.
+	u.Sources = append(u.Sources, &sources.Source{ID: "zz-broken", Kind: sources.Kind("bogus")})
+	w := New(u, ProductConfig(), nil, fullDataCtx(u))
+	w.Parallelism = 4
+	out, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no wrangled rows")
+	}
+	if w.LastStats.SourcesProcessed != 7 {
+		t.Errorf("SourcesProcessed = %d, want 7 (6 good + 1 broken)", w.LastStats.SourcesProcessed)
+	}
+	if _, ok := w.LastStats.Failures["zz-broken"]; !ok {
+		t.Errorf("Failures = %v, want entry for zz-broken", w.LastStats.Failures)
+	}
+	for _, id := range w.SelectedSources() {
+		if id == "zz-broken" {
+			t.Error("broken source was selected")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// Task is one node of an execution graph: a unit of work plus the IDs of
+// the tasks that must finish before it may start.
+type Task struct {
+	ID   string
+	Deps []string
+	Run  func(ctx context.Context) error
+}
+
+// Graph is a task DAG. Build it with Add, execute it with Run. A Graph is
+// single-shot: it describes one execution, not a long-lived scheduler.
+type Graph struct {
+	tasks []*Task
+	byID  map[string]*Task
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{byID: map[string]*Task{}}
+}
+
+// Add registers a task. IDs must be unique and run must be non-nil;
+// dependencies may be registered after their dependents (they are resolved
+// at Run).
+func (g *Graph) Add(id string, run func(ctx context.Context) error, deps ...string) error {
+	if id == "" {
+		return fmt.Errorf("engine: task id must be non-empty")
+	}
+	if run == nil {
+		return fmt.Errorf("engine: task %q has nil run", id)
+	}
+	if _, dup := g.byID[id]; dup {
+		return fmt.Errorf("engine: duplicate task id %q", id)
+	}
+	t := &Task{ID: id, Deps: append([]string(nil), deps...), Run: run}
+	g.tasks = append(g.tasks, t)
+	g.byID[id] = t
+	return nil
+}
+
+// Len returns the number of registered tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Run executes the graph on at most Workers(workers) concurrent
+// goroutines and blocks until every task finished, one failed, or the
+// context was cancelled.
+//
+// Scheduling is deterministic where it matters: ready tasks dispatch in
+// registration order, so a sequential run (workers = 1) executes tasks in
+// exactly the order they were added (topologically). With more workers
+// only the interleaving changes — which tasks run is the same, and the
+// caller's merge step decides result order.
+//
+// Failure semantics: the first task error (panics included, as
+// *PanicError) wins; no new task starts after it, in-flight tasks are
+// waited for, and the error is returned as-is. Cancellation is checked
+// before every dispatch, so a cancelled context stops the fan-out at the
+// next task boundary and returns ctx.Err().
+func (g *Graph) Run(ctx context.Context, workers int) error {
+	// Resolve dependencies up front: unknown deps are a construction bug,
+	// reported before any work starts.
+	indeg := make(map[string]int, len(g.tasks))
+	dependents := make(map[string][]*Task, len(g.tasks))
+	for _, t := range g.tasks {
+		for _, d := range t.Deps {
+			if _, ok := g.byID[d]; !ok {
+				return fmt.Errorf("engine: task %q depends on unknown task %q", t.ID, d)
+			}
+			indeg[t.ID]++
+			dependents[d] = append(dependents[d], t)
+		}
+	}
+
+	// ready is a FIFO in registration order; next indexes into it.
+	var ready []*Task
+	for _, t := range g.tasks {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	type doneMsg struct {
+		task *Task
+		err  error
+	}
+	done := make(chan doneMsg)
+	maxWorkers := Workers(workers)
+	var (
+		next     int
+		running  int
+		finished int
+		firstErr error
+	)
+	for {
+		// Dispatch while slots are free, work is ready and nothing failed.
+		for firstErr == nil && next < len(ready) && running < maxWorkers {
+			if err := ctx.Err(); err != nil {
+				firstErr = err
+				break
+			}
+			t := ready[next]
+			next++
+			running++
+			go func(t *Task) {
+				err := guard(func() error { return t.Run(ctx) })
+				done <- doneMsg{task: t, err: err}
+			}(t)
+		}
+		if running == 0 {
+			break
+		}
+		msg := <-done
+		running--
+		finished++
+		if msg.err != nil && firstErr == nil {
+			firstErr = msg.err
+		}
+		for _, d := range dependents[msg.task.ID] {
+			indeg[d.ID]--
+			if indeg[d.ID] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if finished < len(g.tasks) {
+		return fmt.Errorf("engine: dependency cycle among %d unreachable tasks", len(g.tasks)-finished)
+	}
+	return nil
+}

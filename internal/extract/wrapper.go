@@ -40,6 +40,18 @@ type Wrapper struct {
 	Confidence     float64 // induction confidence in [0,1]
 }
 
+// Clone returns an independent copy of the wrapper. Repair mutates
+// wrappers in place (relabelling field properties), so reusing a stored
+// wrapper for a new processing round must not alias the stored one.
+func (w *Wrapper) Clone() *Wrapper {
+	if w == nil {
+		return nil
+	}
+	c := *w
+	c.Fields = append([]FieldRule(nil), w.Fields...)
+	return &c
+}
+
 // Induce learns a wrapper from a parsed listing page. It returns an error
 // when no repeated record structure can be found. The optional taxonomy
 // labels fields with canonical properties; pass nil to skip labelling

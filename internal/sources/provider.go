@@ -9,6 +9,15 @@ package sources
 // return the same *Source with updated contents; providers whose sources
 // never change may return the source unchanged. Clock anchors freshness
 // assessment: providers without a notion of time return 0 (= "now").
+//
+// Concurrency contract: the engine fans per-source processing out across
+// workers, which call Clock (and read the *Source values already handed
+// out) concurrently — those paths must be safe for concurrent reads, which
+// they are for any provider that does not mutate itself outside Refresh.
+// Refresh and List are only ever called from one goroutine at a time (the
+// orchestrator serialises acquisition precisely because Refresh may mutate
+// provider state, as the synthetic Universe does when re-rendering a
+// source in place).
 type Provider interface {
 	// List returns every source the provider currently offers, in a
 	// stable order.

@@ -37,6 +37,8 @@ type settings struct {
 
 	provider Provider
 
+	parallelism int
+
 	seed         int64
 	synthSources int
 }
@@ -169,6 +171,30 @@ func WithSyntheticSources(n int) Option {
 		s.synthSources = n
 		return nil
 	}
+}
+
+// WithParallelism bounds how many sources the session processes
+// concurrently (n >= 1). Sources are independent until the selection
+// barrier, so their extract/match/map chains fan out over n workers on
+// the internal engine; results merge in stable provider order, making a
+// parallel run byte-identical to a sequential one. By default a session
+// uses one worker per CPU.
+func WithParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("parallelism must be at least 1, got %d", n)
+		}
+		s.parallelism = n
+		return nil
+	}
+}
+
+// WithSequential forces one-source-at-a-time execution — equivalent to
+// WithParallelism(1). Useful for debugging, for profiling a single
+// source's cost, or on machines where the wrangle must not saturate
+// every core.
+func WithSequential() Option {
+	return WithParallelism(1)
 }
 
 // WithProvider points the session at an explicit source backend — files

@@ -1,0 +1,114 @@
+package wrangle_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/wrangle"
+)
+
+func TestParallelismOptionValidation(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := wrangle.New(wrangle.WithParallelism(n)); err == nil {
+			t.Errorf("WithParallelism(%d) accepted", n)
+		} else if !strings.Contains(err.Error(), "parallelism") {
+			t.Errorf("WithParallelism(%d) error = %v, want parallelism message", n, err)
+		}
+	}
+	if _, err := wrangle.New(wrangle.WithParallelism(8)); err != nil {
+		t.Errorf("WithParallelism(8) rejected: %v", err)
+	}
+}
+
+// TestParallelRunByteIdentical asserts the public determinism contract:
+// the same seed wrangled with WithSequential and WithParallelism(4)
+// produces byte-identical tables and identical selections.
+func TestParallelRunByteIdentical(t *testing.T) {
+	run := func(opt wrangle.Option) (string, []string) {
+		s, err := wrangle.New(wrangle.WithSeed(11), wrangle.WithSyntheticSources(10), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String(), s.SelectedSources()
+	}
+	seqTab, seqSel := run(wrangle.WithSequential())
+	parTab, parSel := run(wrangle.WithParallelism(4))
+	if seqTab != parTab {
+		t.Errorf("parallel table diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTab, parTab)
+	}
+	if strings.Join(seqSel, ",") != strings.Join(parSel, ",") {
+		t.Errorf("selection diverged: sequential %v, parallel %v", seqSel, parSel)
+	}
+}
+
+// cancellingProvider wraps a real provider and cancels the run's context
+// the first time a source's processing chain consults the provider clock
+// — i.e. from *inside* the fan-out, while other source tasks are queued.
+type cancellingProvider struct {
+	wrangle.Provider
+	once   sync.Once
+	cancel context.CancelFunc
+}
+
+func (p *cancellingProvider) Clock() int {
+	p.once.Do(p.cancel)
+	return p.Provider.Clock()
+}
+
+// TestRunStopsPromptlyMidFanOut cancels from within the first in-flight
+// source task and checks that the run aborts at the next task boundary
+// and leaves the session consistent: nothing wrangled, no half-processed
+// source marked selected, and a subsequent clean run produces exactly
+// what an undisturbed session produces.
+func TestRunStopsPromptlyMidFanOut(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &cancellingProvider{
+		Provider: wrangle.Synthetic(23, wrangle.Products, 12),
+		cancel:   cancel,
+	}
+	s, err := wrangle.New(
+		wrangle.WithProvider(p),
+		wrangle.WithParallelism(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if s.Wrangled() != nil {
+		t.Error("cancelled run left a wrangled table")
+	}
+	if sel := s.SelectedSources(); len(sel) != 0 {
+		t.Errorf("cancelled run left sources selected: %v", sel)
+	}
+
+	// The session recovers and is indistinguishable from one that was
+	// never cancelled: outcomes only merge at the selection barrier.
+	got, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := wrangle.New(
+		wrangle.WithProvider(wrangle.Synthetic(23, wrangle.Products, 12)),
+		wrangle.WithParallelism(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("post-cancellation run diverged from an undisturbed session's run")
+	}
+}

@@ -29,8 +29,12 @@ type Session struct {
 
 // Run executes the full pipeline — extract every source, match and map to
 // the target schema, select sources under the user context, resolve
-// entities, fuse — and returns the wrangled table. The context is checked
-// between pipeline stages; a cancelled run returns ctx.Err().
+// entities, fuse — and returns the wrangled table. Per-source work fans
+// out over the session's parallelism degree (WithParallelism /
+// WithSequential; default one worker per CPU) and merges
+// deterministically, so the output is byte-identical at any worker count.
+// The context is checked at every task boundary; a cancelled run returns
+// ctx.Err() without merging partial fan-out results.
 func (s *Session) Run(ctx context.Context) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

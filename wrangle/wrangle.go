@@ -69,8 +69,10 @@ func New(opts ...Option) (*Session, error) {
 		provider = Synthetic(s.seed, s.domain, s.synthSources)
 	}
 
+	w := core.New(provider, cfg, userCtx, dataCtx)
+	w.Parallelism = s.parallelism // 0 = auto: one worker per CPU
 	return &Session{
-		w:      core.New(provider, cfg, userCtx, dataCtx),
+		w:      w,
 		domain: s.domain,
 	}, nil
 }
