@@ -21,8 +21,11 @@ race:
 
 # bench prints the experiment benchmark suite (E1-E10, F1), then records
 # the engine scaling benchmark (1/2/4/8 workers over a 24-source universe)
-# as test2json events in BENCH_PR2.json — the PR-over-PR perf trajectory.
-# The patterns are disjoint so nothing runs twice.
+# as test2json events in BENCH_PR2.json and the serving-layer read
+# throughput (1/4/16 concurrent readers against a mutating session) in
+# BENCH_PR3.json — the PR-over-PR perf trajectory. The patterns are
+# disjoint so nothing runs twice.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
+	$(GO) test -bench=BenchmarkServeReads -benchmem -run=^$$ -json . > BENCH_PR3.json

@@ -9,6 +9,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
@@ -45,6 +47,82 @@ func BenchmarkEngineParallelSources(b *testing.B) {
 					b.Fatal("no wrangled rows")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkServeReads measures the serving layer's concurrent read path:
+// 1/4/16 reader goroutines continuously pin the latest snapshot version
+// and touch its table, stats and report, while a background writer
+// refreshes sources (committing a new copy-on-write version per
+// reaction). Reads are one atomic pointer load plus accessor calls — they
+// never take the session lock — so throughput should hold (and scale
+// with cores) regardless of the write churn. `make bench` records this
+// table to BENCH_PR3.json, the PR-3 entry of the perf trajectory.
+func BenchmarkServeReads(b *testing.B) {
+	for _, readers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			s, err := wrangle.New(
+				wrangle.WithSeed(11),
+				wrangle.WithSyntheticSources(8),
+				wrangle.WithRetainVersions(3),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			// The mutating session: a writer goroutine refreshes one source
+			// at a time for the whole measurement window, so every read
+			// races a real reaction.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ids := s.SelectedSources()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Best-effort: a failed refresh keeps the previous data
+					// and the bench keeps reading.
+					_, _ = s.Refresh(context.Background(), ids[i%len(ids)])
+				}
+			}()
+			b.ResetTimer()
+			var next atomic.Int64
+			var rwg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					for next.Add(1) <= int64(b.N) {
+						v, err := s.View()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if v.Table().Len() == 0 {
+							b.Error("empty table")
+							return
+						}
+						if v.Stats().RowsWrangled != v.Table().Len() {
+							b.Error("torn version")
+							return
+						}
+						_ = v.Report().Lines
+					}
+				}()
+			}
+			rwg.Wait()
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 		})
 	}
 }

@@ -4,11 +4,17 @@
 // the ground-truth evaluation. It is a thin CLI over the public
 // repro/wrangle package.
 //
+// With -serve it stays up as a small serving tier: HTTP readers query the
+// latest committed snapshot version (lock-free) while a background loop
+// churns the synthetic world and refreshes sources; Ctrl-C shuts down
+// gracefully.
+//
 // Usage:
 //
 //	wrangle [-seed N] [-sources N] [-domain products|locations]
 //	        [-context balanced|routine|investigation] [-max-sources N]
-//	        [-parallelism N] [-csv out.csv]
+//	        [-parallelism N] [-retain N] [-csv out.csv]
+//	        [-serve [-listen addr] [-refresh-every d] [-churn f]]
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/wrangle"
 	"repro/wrangle/synth"
@@ -30,13 +37,49 @@ func main() {
 	maxSources := flag.Int("max-sources", 0, "source budget (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "per-source worker bound (0 = one per CPU, 1 = sequential)")
 	csvOut := flag.String("csv", "", "write wrangled table as CSV to this file")
+	serveMode := flag.Bool("serve", false, "after the run, serve snapshot versions over HTTP while refreshing in the background")
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address for -serve")
+	refreshEvery := flag.Duration("refresh-every", 2*time.Second, "background refresh interval for -serve")
+	churn := flag.Float64("churn", 0.1, "world churn rate per background refresh tick for -serve")
+	retain := flag.Int("retain", 0, "snapshot versions to retain (0 = default window)")
 	flag.Parse()
 
+	// Flag combinations are validated before any work: -serve in
+	// particular must not start a server off a half-valid configuration.
 	if *parallelism < 0 {
 		fmt.Fprintf(os.Stderr, "wrangle: parallelism must be >= 1, or 0 for one worker per CPU (got %d)\n", *parallelism)
 		os.Exit(2)
 	}
+	if *retain < 0 {
+		fmt.Fprintf(os.Stderr, "wrangle: retain must be >= 1, or 0 for the default window (got %d)\n", *retain)
+		os.Exit(2)
+	}
+	if !*serveMode {
+		serveOnly := map[string]string{"listen": "", "refresh-every": "", "churn": ""}
+		flag.Visit(func(f *flag.Flag) {
+			if _, ok := serveOnly[f.Name]; ok {
+				fmt.Fprintf(os.Stderr, "wrangle: -%s only makes sense with -serve\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	} else {
+		if *csvOut != "" {
+			fmt.Fprintln(os.Stderr, "wrangle: -csv cannot be combined with -serve (the table keeps changing; query /table instead)")
+			os.Exit(2)
+		}
+		if *refreshEvery <= 0 {
+			fmt.Fprintf(os.Stderr, "wrangle: refresh-every must be positive (got %s)\n", *refreshEvery)
+			os.Exit(2)
+		}
+		if *churn < 0 || *churn > 1 {
+			fmt.Fprintf(os.Stderr, "wrangle: churn must be in [0,1] (got %g)\n", *churn)
+			os.Exit(2)
+		}
+	}
 	opts := []wrangle.Option{wrangle.WithSourceBudget(*maxSources)}
+	if *retain >= 1 {
+		opts = append(opts, wrangle.WithRetainVersions(*retain))
+	}
 	if *parallelism >= 1 {
 		// Output is byte-identical at any worker count; the flag only
 		// trades wall-clock for cores.
@@ -146,6 +189,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvOut)
+	}
+
+	if *serveMode {
+		if err := runServe(s, u, *listen, *refreshEvery, *churn); err != nil {
+			fmt.Fprintln(os.Stderr, "wrangle:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/wrangle"
+	"repro/wrangle/synth"
+)
+
+// runServe turns the CLI into a small serving tier over the session's
+// versioned snapshot store: HTTP readers answer from the latest committed
+// view (lock-free — they never wait on the session), while a background
+// loop churns the synthetic world and refreshes sources, committing a new
+// version per reaction. SIGINT/SIGTERM drains in-flight requests, stops
+// the refresher and exits cleanly.
+func runServe(s *wrangle.Session, u *synth.Universe, addr string, every time.Duration, churn float64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nserving on http://%s (refresh every %s, churn %.2f) — Ctrl-C to stop\n",
+		ln.Addr(), every, churn)
+	fmt.Println("endpoints: /version /table /report /stats /sources (all accept ?version=N)")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := viewFor(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, v, map[string]any{
+			"version":     v.Version(),
+			"step":        v.Step(),
+			"origin":      v.Origin(),
+			"publishedAt": v.PublishedAt(),
+			"entities":    v.Table().Len(),
+			"retained":    v.Versions(),
+		})
+	})
+	mux.HandleFunc("GET /table", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := viewFor(s, w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Wrangle-Version", strconv.FormatUint(v.Version(), 10))
+		if err := wrangle.WriteJSON(w, v.Table()); err != nil {
+			// Headers are gone; all we can do is log.
+			fmt.Fprintln(os.Stderr, "wrangle: write table:", err)
+		}
+	})
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := viewFor(s, w, r)
+		if !ok {
+			return
+		}
+		rep := v.Report()
+		writeJSON(w, v, map[string]any{
+			"title":   rep.Title,
+			"summary": rep.Summarise(),
+			"lines":   rep.Lines,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := viewFor(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, v, map[string]any{
+			"origin":      v.Origin(),
+			"run":         v.Stats(),
+			"runStages":   stagesMS(v.Stats().Stages),
+			"react":       v.React(),
+			"reactStages": stagesMS(v.React().Stages),
+		})
+	})
+	mux.HandleFunc("GET /sources", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := viewFor(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, v, map[string]any{
+			"selected": v.Selected(),
+			"trust":    v.Trust(),
+			"sources":  v.Sources(),
+		})
+	})
+
+	// The background write loop: evolve the synthetic world and refresh
+	// one source per tick (round-robin), so readers watch versions advance
+	// while each reaction stays cheap.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		tick := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			u.World.Evolve(churn)
+			ids := s.SelectedSources()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[tick%len(ids)]
+			tick++
+			if _, err := s.Refresh(ctx, id); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "wrangle: background refresh:", err)
+			}
+		}
+	}()
+
+	server := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stop()
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = server.Shutdown(shutdownCtx)
+	wg.Wait()
+	if v, verr := s.View(); verr == nil {
+		fmt.Printf("served up to version %d (%d entities)\n", v.Version(), v.Table().Len())
+	}
+	return err
+}
+
+// viewFor resolves the request's view: the latest committed version, or
+// the pinned one named by ?version=N. It writes the HTTP error itself and
+// reports ok=false when there is nothing to serve.
+func viewFor(s *wrangle.Session, w http.ResponseWriter, r *http.Request) (*wrangle.View, bool) {
+	v, err := s.View()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return nil, false
+	}
+	if q := r.URL.Query().Get("version"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad version: "+q, http.StatusBadRequest)
+			return nil, false
+		}
+		if v, err = v.At(n); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// writeJSON renders a response stamped with the view's version header.
+func writeJSON(w http.ResponseWriter, v *wrangle.View, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Wrangle-Version", strconv.FormatUint(v.Version(), 10))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(body); err != nil {
+		fmt.Fprintln(os.Stderr, "wrangle: write response:", err)
+	}
+}
+
+// stagesMS renders a stage-timing map in milliseconds for readability
+// (raw time.Duration marshals as opaque nanoseconds).
+func stagesMS(stages map[string]time.Duration) map[string]float64 {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(stages))
+	for k, d := range stages {
+		out[k] = float64(d.Microseconds()) / 1000
+	}
+	return out
+}

@@ -14,10 +14,16 @@
 // facade, internal/engine executes each run as a task DAG on a bounded
 // worker pool: per-source extraction chains fan out in parallel
 // (WithParallelism / WithSequential) and merge deterministically, so a
-// parallel run is byte-identical to a sequential one. README.md holds
-// the quickstart, CLI usage and the architecture diagram, ROADMAP.md
-// the north star and open items, and repro/wrangle/experiments the
-// paper-claim experiment index that cmd/experiments prints.
+// parallel run is byte-identical to a sequential one. Each successful
+// run and reaction then commits an immutable copy-on-write snapshot
+// version into internal/serve; Session.View pins the latest version with
+// one atomic load, so heavy read traffic is served lock-free and
+// untorn while feedback and refresh reactions churn in the background
+// (WithRetainVersions bounds the history, cmd/wrangle -serve exposes it
+// over HTTP). README.md holds the quickstart, CLI usage, and the
+// architecture and version-lifecycle diagrams, ROADMAP.md the north
+// star and open items, and repro/wrangle/experiments the paper-claim
+// experiment index that cmd/experiments prints.
 //
 // The root package holds the benchmark suite (bench_test.go): one
 // testing.B benchmark per experiment, regenerating the tables that

@@ -1,0 +1,101 @@
+// Serveview demonstrates the serving layer: concurrent readers pin
+// copy-on-write snapshot versions (Session.View) and keep reading at
+// full speed while the session reacts to feedback and source churn in
+// the background. Every view is internally consistent — its table,
+// report, stats and trust all belong to the same committed version —
+// and a pinned view never changes, no matter how many reactions land
+// after it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/wrangle"
+	"repro/wrangle/synth"
+)
+
+func main() {
+	ctx := context.Background()
+	world := synth.NewWorld(21, 150, 0)
+	u := synth.Generate(world, synth.DefaultConfig(21, 8))
+	s, err := wrangle.New(
+		wrangle.WithProvider(u),
+		wrangle.WithRetainVersions(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := s.View()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d (%s): %d entities, stages %v\n",
+		v.Version(), v.Origin(), v.Table().Len(), stageNames(v))
+
+	// Readers: pin the latest view in a tight loop and count how many
+	// consistent snapshots they observe while the writer churns.
+	var reads atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				view, err := s.View()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if view.Table().Len() != view.Stats().RowsWrangled {
+					log.Fatal("torn view") // cannot happen: versions commit atomically
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	// The writer: evolve prices in the world and refresh sources, one
+	// committed version per reaction.
+	for i := 0; i < 6; i++ {
+		world.Evolve(0.25)
+		if _, err := s.Refresh(ctx, s.SelectedSources()[i%2]); err != nil {
+			log.Fatal(err)
+		}
+		latest, _ := s.View()
+		fmt.Printf("v%d (%s): %d entities, retained %v\n",
+			latest.Version(), latest.Origin(), latest.Table().Len(), latest.Versions())
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	// The first view is still pinned to version 1 — even though that
+	// version has been pruned from the retention window by now.
+	fmt.Printf("\npinned v%d still reads %d entities; %d lock-free reads while %d reactions ran\n",
+		v.Version(), v.Table().Len(), reads.Load(), 6)
+	if _, err := v.At(1); err != nil {
+		fmt.Println("time travel past retention:", err)
+	}
+}
+
+func stageNames(v *wrangle.View) []string {
+	var out []string
+	for name := range v.Stats().Stages {
+		out = append(out, name)
+	}
+	return out
+}

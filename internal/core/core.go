@@ -29,6 +29,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/provenance"
 	"repro/internal/quality"
+	"repro/internal/serve"
 	"repro/internal/sources"
 )
 
@@ -112,6 +113,13 @@ type RunStats struct {
 	// no longer fails the run.
 	Failures map[string]string
 	Duration time.Duration
+	// Stages attributes the run's wall clock to pipeline stages, from the
+	// engine's per-task timings: "sources" sums every per-source
+	// extract/match/map chain (parallel work — the stage total can exceed
+	// Duration when chains overlap), "select" covers the merge barrier plus
+	// selection, "integrate" the resolve/fuse tail. Published snapshot
+	// versions carry these, so a bench regression attributes to a stage.
+	Stages map[string]time.Duration
 }
 
 // Wrangler is the Figure-1 architecture instance. Sources arrive through
@@ -130,6 +138,11 @@ type Wrangler struct {
 	// sequential ones — per-source work fans out on the engine, results
 	// merge in stable provider order.
 	Parallelism int
+	// Serve is the versioned copy-on-write snapshot store the wrangler
+	// publishes into at the end of every successful run, feedback reaction
+	// and refresh. Readers hold committed versions lock-free; replace the
+	// store (before the first run) to change its retention bound.
+	Serve *VersionStore
 
 	states       map[string]*sourceState
 	resolver     *er.Resolver
@@ -138,6 +151,7 @@ type Wrangler struct {
 	clusters     *er.Clustering
 	entityIDs    []string // per union row: fused entity id
 	results      []fusion.Result
+	supporters   map[string][]string // lazy (entity,attr) → supporting sources
 	wrangled     *dataset.Table
 	trust        map[string]float64
 	lastSeq      int
@@ -161,6 +175,7 @@ func New(p sources.Provider, cfg Config, userCtx *wctx.UserContext, dataCtx *wct
 		Feedback: feedback.NewStore(),
 		Prov:     provenance.NewGraph(),
 		Config:   cfg,
+		Serve:    NewVersionStore(serve.DefaultRetain),
 		states:   map[string]*sourceState{},
 		trust:    map[string]float64{},
 	}
@@ -219,8 +234,25 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	if err := g.Run(ctx, w.workers()); err != nil {
 		return nil, err
 	}
+	w.LastStats.Stages = stageTimings(g.Timings())
 	w.LastStats.Duration = time.Since(start)
+	w.publish(serve.OriginRun, ReactStats{})
 	return w.wrangled, nil
+}
+
+// stageTimings folds the engine's per-task wall clock into per-stage
+// attribution: every "source[...]" task accrues to "sources", the named
+// barrier tasks keep their own key.
+func stageTimings(tasks map[string]time.Duration) map[string]time.Duration {
+	stages := make(map[string]time.Duration, 3)
+	for id, d := range tasks {
+		if strings.HasPrefix(id, "source[") {
+			stages["sources"] += d
+		} else {
+			stages[id] += d
+		}
+	}
+	return stages
 }
 
 // workers resolves the wrangler's configured parallelism degree.
@@ -530,6 +562,7 @@ func (w *Wrangler) integrate() error {
 	if w.union.Len() == 0 {
 		w.wrangled = dataset.NewTable(w.Config.Target.Clone())
 		w.results = nil
+		w.supporters = nil
 		return nil
 	}
 	// Profile the integrated data for near-exact functional dependencies
@@ -674,6 +707,7 @@ func (w *Wrangler) fuse(ids []string) error {
 	}
 	opts := w.fusionOptions()
 	w.results = fusion.Fuse(claims, opts)
+	w.supporters = nil // new results: the supporters index is stale
 	w.trust = opts.Trust
 
 	// Materialise the wrangled table: one row per entity.
@@ -819,41 +853,55 @@ func (w *Wrangler) EntityOf(i int) string { return w.entityIDs[i] }
 // annotation should blame, per the system's own fusion bookkeeping. This
 // is how one feedback item informs many components: the annotation names
 // a value, the working data knows who asserted it.
+//
+// Supporters for every fused value are indexed once per fusion (a report
+// asks about every line, and every publication builds a report), so a
+// lookup is O(1) after the first. The returned slice is shared with that
+// index and with any report lines built from it — read-only.
 func (w *Wrangler) ClaimSupporters(entity, attribute string) []string {
-	var fused dataset.Value
-	found := false
+	if w.supporters == nil {
+		w.buildSupporters()
+	}
+	return w.supporters[entity+"\x00"+attribute]
+}
+
+// buildSupporters walks the union once, grouping rows by entity, and
+// resolves each fused result's supporting sources in a single pass —
+// O(union rows × attributes + results) instead of a full union scan per
+// report line. fuse invalidates the index (w.supporters = nil).
+func (w *Wrangler) buildSupporters() {
+	w.supporters = map[string][]string{}
+	if w.union == nil {
+		return
+	}
+	rowsByEntity := map[string][]int{}
+	for i, e := range w.entityIDs {
+		rowsByEntity[e] = append(rowsByEntity[e], i)
+	}
 	for _, r := range w.results {
-		if r.Entity == entity && r.Attribute == attribute {
-			fused = r.Value
-			found = true
-			break
-		}
-	}
-	if !found || fused.IsNull() || w.union == nil {
-		return nil
-	}
-	c := w.union.Schema().Index(attribute)
-	if c < 0 {
-		return nil
-	}
-	seen := map[string]bool{}
-	var out []string
-	for i := 0; i < w.union.Len(); i++ {
-		if w.entityIDs[i] != entity {
+		if r.Value.IsNull() {
 			continue
 		}
-		v := w.union.Row(i)[c]
-		if v.IsNull() || !v.ApproxEqual(fused, 0.01*absFloat(fused)) {
+		c := w.union.Schema().Index(r.Attribute)
+		if c < 0 {
 			continue
 		}
-		src := w.unionSources[i]
-		if !seen[src] {
-			seen[src] = true
-			out = append(out, src)
+		seen := map[string]bool{}
+		var out []string
+		for _, i := range rowsByEntity[r.Entity] {
+			v := w.union.Row(i)[c]
+			if v.IsNull() || !v.ApproxEqual(r.Value, 0.01*absFloat(r.Value)) {
+				continue
+			}
+			src := w.unionSources[i]
+			if !seen[src] {
+				seen[src] = true
+				out = append(out, src)
+			}
 		}
+		sort.Strings(out)
+		w.supporters[r.Entity+"\x00"+r.Attribute] = out
 	}
-	sort.Strings(out)
-	return out
 }
 
 func absFloat(v dataset.Value) float64 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/feedback"
 	"repro/internal/provenance"
+	"repro/internal/serve"
 	"repro/internal/sources"
 )
 
@@ -29,6 +30,10 @@ type ReactStats struct {
 	Reclustered        bool
 	Refused            bool
 	Duration           time.Duration
+	// Stages attributes the reaction's wall clock: "reextract" covers the
+	// per-source re-extraction fan-out, "integrate" the recluster+refuse
+	// tail ("fuse" when only fusion reran). Absent stages did not run.
+	Stages map[string]time.Duration
 }
 
 // ReactToFeedback consumes feedback added since the last reaction and
@@ -93,6 +98,8 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 			st.wrapper = nil
 		}
 	}
+	stats.Stages = map[string]time.Duration{}
+	exStart := time.Now()
 	outcomes, err := w.computeSources(ctx, ids, w.Provider.Lookup, true)
 	if err != nil {
 		return stats, err
@@ -108,6 +115,9 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 		stats.Remapped++
 		needRecluster = true
 	}
+	if len(ids) > 0 {
+		stats.Stages["reextract"] = time.Since(exStart)
+	}
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
@@ -115,6 +125,7 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 		w.selectSources()
 		needRecluster = true
 	}
+	tailStart := time.Now()
 	switch {
 	case needRecluster:
 		if err := w.integrate(); err != nil {
@@ -122,14 +133,21 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 		}
 		stats.Reclustered = true
 		stats.Refused = true
+		stats.Stages["integrate"] = time.Since(tailStart)
 	case needRefuse:
 		if err := w.fuse(w.selectedIDs()); err != nil {
 			return stats, err
 		}
 		stats.Refused = true
+		stats.Stages["fuse"] = time.Since(tailStart)
 	}
 	w.lastSeq = last
 	stats.Duration = time.Since(start)
+	if stats.SourcesReextracted > 0 || stats.Reclustered || stats.Refused {
+		// Something recomputed: commit the new working data as a serve
+		// version. Feedback that changed nothing publishes nothing.
+		w.publish(serve.OriginFeedback, stats)
+	}
 	return stats, nil
 }
 
@@ -188,7 +206,7 @@ func (w *Wrangler) computeSources(ctx context.Context, ids []string, acquire fun
 // Only cancellation aborts the batch.
 func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (ReactStats, error) {
 	start := time.Now()
-	var stats ReactStats
+	stats := ReactStats{Stages: map[string]time.Duration{}}
 	var errs []error
 	outcomes, err := w.computeSources(ctx, ids, w.Provider.Refresh, false)
 	if err != nil {
@@ -206,6 +224,7 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 		stats.SourcesReextracted++
 		stats.Remapped++
 	}
+	stats.Stages["reextract"] = time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
@@ -214,13 +233,19 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 		// integration tail has nothing new to fold in.
 		return stats, errors.Join(errs...)
 	}
+	tailStart := time.Now()
 	if err := w.integrate(); err != nil {
 		errs = append(errs, err)
 		return stats, errors.Join(errs...)
 	}
+	stats.Stages["integrate"] = time.Since(tailStart)
 	stats.Reclustered = true
 	stats.Refused = true
 	stats.Duration = time.Since(start)
+	// Best-effort contract: the tail recomputed, so the new working data
+	// is committed as a serve version even when individual sources failed
+	// (they kept their previous good data).
+	w.publish(serve.OriginRefresh, stats)
 	return stats, errors.Join(errs...)
 }
 
@@ -229,7 +254,10 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 func (w *Wrangler) FullRerun() (ReactStats, error) {
 	start := time.Now()
 	w.states = map[string]*sourceState{}
-	w.Prov = provenance.NewGraph()
+	// The derivations are discarded but the logical clock is not rewound:
+	// versions the serve store already committed keep steps strictly below
+	// everything the rerun publishes.
+	w.Prov = provenance.NewGraphFrom(w.Prov.Step())
 	if _, err := w.Run(); err != nil {
 		return ReactStats{}, err
 	}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"maps"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// This file is the write side of the serving layer: at the end of every
+// successful run, feedback reaction and refresh, the wrangler publishes a
+// copy-on-write snapshot of its read-side artefacts into a versioned
+// serve.Store. Publication reuses the pipeline's compute/install split —
+// the reaction has already computed the new working data, so publishing
+// is a deep copy plus one atomic swap. Readers (Session.View) hold the
+// committed version without any lock and are never torn by the next
+// reaction.
+
+// Published is the payload of one committed serve version: every
+// read-side artefact of a wrangle, deep-copied at publication so no later
+// reaction (or other reader) can mutate what a reader holds. All fields
+// are frozen once published; treat them as read-only.
+type Published struct {
+	// Table is the wrangled table, one row per entity.
+	Table *dataset.Table
+	// Report is the prebuilt Example-5 report over all attributes, with
+	// supporters resolved against this version's fusion bookkeeping.
+	Report *report.Report
+	// Stats reports what the last full run touched, including the
+	// per-stage wall-clock attribution (RunStats.Stages).
+	Stats RunStats
+	// React is the incremental reaction that committed this version;
+	// zero for run-origin versions.
+	React ReactStats
+	// Trust is the per-source trust map of the fusion behind Table.
+	Trust map[string]float64
+	// Sources is the per-source selection, utility and quality snapshot.
+	Sources map[string]SourceReport
+	// Selected is the sorted list of source ids integrated into Table.
+	Selected []string
+}
+
+// VersionStore is the concrete serve store a wrangler publishes into.
+type VersionStore = serve.Store[Published]
+
+// PublishedVersion is one committed version of a wrangler's output.
+type PublishedVersion = serve.Version[Published]
+
+// NewVersionStore creates a snapshot store retaining the given number of
+// versions (< 1 = serve.DefaultRetain).
+func NewVersionStore(retain int) *VersionStore {
+	return serve.NewStore[Published](retain)
+}
+
+// publish commits the current working data as a new serve version,
+// stamped with the provenance step that produced it. The compute half
+// already happened (the run or reaction that just finished); this is the
+// install half: deep-copy the read-side artefacts, then one atomic swap
+// makes them the latest version. Before the first successful run there is
+// nothing to publish.
+func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
+	if w.Serve == nil || w.wrangled == nil {
+		return
+	}
+	pub := Published{
+		Table:    w.wrangled.Clone(),
+		Report:   report.Build(w, fmt.Sprintf("wrangled (%s)", origin), nil),
+		Stats:    w.LastStats.Clone(),
+		React:    react.Clone(),
+		Trust:    maps.Clone(w.trust),
+		Sources:  w.Snapshot(),
+		Selected: w.selectedIDs(),
+	}
+	w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now())
+}
+
+// Clone deep-copies the stats' reference fields, insulating the copy
+// from later runs mutating the originals in place (published versions
+// and API callers both rely on this).
+func (s RunStats) Clone() RunStats {
+	s.Reextracted = append([]string(nil), s.Reextracted...)
+	s.Failures = maps.Clone(s.Failures)
+	s.Stages = maps.Clone(s.Stages)
+	return s
+}
+
+// Clone deep-copies the reaction stats' reference fields.
+func (s ReactStats) Clone() ReactStats {
+	s.Stages = maps.Clone(s.Stages)
+	return s
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // Task is one node of an execution graph: a unit of work plus the IDs of
@@ -16,8 +17,9 @@ type Task struct {
 // Graph is a task DAG. Build it with Add, execute it with Run. A Graph is
 // single-shot: it describes one execution, not a long-lived scheduler.
 type Graph struct {
-	tasks []*Task
-	byID  map[string]*Task
+	tasks   []*Task
+	byID    map[string]*Task
+	timings map[string]time.Duration
 }
 
 // NewGraph returns an empty task graph.
@@ -46,6 +48,13 @@ func (g *Graph) Add(id string, run func(ctx context.Context) error, deps ...stri
 
 // Len returns the number of registered tasks.
 func (g *Graph) Len() int { return len(g.tasks) }
+
+// Timings returns the wall-clock duration of every task that completed
+// during Run, keyed by task ID. Tasks never dispatched (after a failure
+// or cancellation) are absent. The map is owned by the graph and must
+// only be read after Run returns; callers aggregating task times into
+// stage times (e.g. RunStats) should copy what they need.
+func (g *Graph) Timings() map[string]time.Duration { return g.timings }
 
 // Run executes the graph on at most Workers(workers) concurrent
 // goroutines and blocks until every task finished, one failed, or the
@@ -88,7 +97,9 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 	type doneMsg struct {
 		task *Task
 		err  error
+		dur  time.Duration
 	}
+	g.timings = make(map[string]time.Duration, len(g.tasks))
 	done := make(chan doneMsg)
 	maxWorkers := Workers(workers)
 	var (
@@ -108,8 +119,9 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 			next++
 			running++
 			go func(t *Task) {
+				start := time.Now()
 				err := guard(func() error { return t.Run(ctx) })
-				done <- doneMsg{task: t, err: err}
+				done <- doneMsg{task: t, err: err, dur: time.Since(start)}
 			}(t)
 		}
 		if running == 0 {
@@ -118,6 +130,10 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 		msg := <-done
 		running--
 		finished++
+		// Recorded on the scheduler goroutine only: the per-task wall
+		// clock feeds per-stage attribution in RunStats instead of being
+		// discarded with the worker goroutine.
+		g.timings[msg.task.ID] = msg.dur
 		if msg.err != nil && firstErr == nil {
 			firstErr = msg.err
 		}

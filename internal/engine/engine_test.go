@@ -270,6 +270,50 @@ func TestMapSliceOrdersResults(t *testing.T) {
 	}
 }
 
+func TestGraphTimingsRecorded(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add("fast", func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("slow", func(context.Context) error {
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	}, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	tm := g.Timings()
+	if len(tm) != 2 {
+		t.Fatalf("Timings = %v, want both tasks", tm)
+	}
+	if tm["slow"] < 20*time.Millisecond {
+		t.Errorf("slow task timed at %s, want >= 20ms", tm["slow"])
+	}
+}
+
+func TestGraphTimingsOmitUndispatched(t *testing.T) {
+	boom := errors.New("boom")
+	g := NewGraph()
+	if err := g.Add("fail", func(context.Context) error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("never", func(context.Context) error { return nil }, "fail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background(), 1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	tm := g.Timings()
+	if _, ok := tm["never"]; ok {
+		t.Error("undispatched task should have no timing")
+	}
+	if _, ok := tm["fail"]; !ok {
+		t.Error("failed task should still be timed")
+	}
+}
+
 func TestMapSliceFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	_, err := MapSlice(context.Background(), 4, []int{1, 2, 3, 4}, func(_ context.Context, x int) (int, error) {

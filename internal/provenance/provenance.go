@@ -65,6 +65,17 @@ func NewGraph() *Graph {
 	return &Graph{records: make(map[Ref]*Record), rdeps: make(map[Ref]map[Ref]bool)}
 }
 
+// NewGraphFrom returns an empty graph whose logical clock resumes from
+// step. Replacing a graph mid-lifecycle (FullRerun) must not rewind
+// time: artefacts stamped with the old graph's steps — published
+// snapshot versions in particular — stay strictly older than anything
+// the new graph derives.
+func NewGraphFrom(step uint64) *Graph {
+	g := NewGraph()
+	g.step = step
+	return g
+}
+
 // Put registers (or replaces) the derivation of an artefact.
 func (g *Graph) Put(artefact Ref, component string, inputs []Ref, note string) *Record {
 	g.mu.Lock()
@@ -84,6 +95,15 @@ func (g *Graph) Put(artefact Ref, component string, inputs []Ref, note string) *
 		g.rdeps[in][artefact] = true
 	}
 	return rec
+}
+
+// Step returns the logical time of the most recent derivation — the
+// graph's current clock. A served snapshot stamped with this value can be
+// traced back to exactly the lineage state that produced it.
+func (g *Graph) Step() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.step
 }
 
 // Get returns the derivation record for the artefact, or nil.

@@ -1,0 +1,42 @@
+// External test package: core imports report (published snapshot versions
+// carry a prebuilt report), so the wrangler-backed integration test lives
+// outside package report to avoid an import cycle.
+package report_test
+
+import (
+	"testing"
+
+	"repro/internal/context"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/report"
+	"repro/internal/sources"
+)
+
+// Integration: build a report from a live wrangler and check supporters
+// are populated.
+func TestBuildFromWrangler(t *testing.T) {
+	w := sources.NewWorld(81, 120, 0)
+	cfg := sources.DefaultConfig(81, 5)
+	cfg.CleanShare = 1
+	cfg.StaleMax = 0
+	u := sources.Generate(w, cfg)
+	dc := context.NewDataContext().WithTaxonomy(ontology.ProductTaxonomy())
+	wr := core.New(u, core.ProductConfig(), nil, dc)
+	if _, err := wr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := report.Build(wr, "price intelligence", []string{"price"})
+	if len(r.Lines) == 0 {
+		t.Fatal("empty report")
+	}
+	withSupport := 0
+	for _, l := range r.Lines {
+		if len(l.Supporters) > 0 {
+			withSupport++
+		}
+	}
+	if withSupport < len(r.Lines)/2 {
+		t.Errorf("only %d/%d lines have supporters", withSupport, len(r.Lines))
+	}
+}

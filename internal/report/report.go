@@ -12,7 +12,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/fusion"
 )
 
@@ -36,10 +35,20 @@ type Report struct {
 	Lines []Line
 }
 
+// ResultSource is the slice of a wrangler a report is built from: the
+// fused results plus the fusion bookkeeping that says which sources back
+// each fused value. *core.Wrangler satisfies it; keeping it an interface
+// lets the serving layer publish prebuilt reports without the report
+// package depending on the orchestrator.
+type ResultSource interface {
+	Results() []fusion.Result
+	ClaimSupporters(entity, attribute string) []string
+}
+
 // Build assembles a report from a wrangler's current results, restricted
 // to the given attributes (nil = all). Lines are sorted by entity then
 // attribute; low-confidence lines sort identically but are marked.
-func Build(w *core.Wrangler, title string, attributes []string) *Report {
+func Build(w ResultSource, title string, attributes []string) *Report {
 	want := map[string]bool{}
 	for _, a := range attributes {
 		want[a] = true
@@ -68,6 +77,27 @@ func Build(w *core.Wrangler, title string, attributes []string) *Report {
 		return r.Lines[i].Attribute < r.Lines[j].Attribute
 	})
 	return r
+}
+
+// Filter returns a retitled report restricted to the given attributes
+// (none = all lines). Lines are shared with the receiver, not copied —
+// filtering a committed snapshot report allocates only the line slice.
+func (r *Report) Filter(title string, attributes ...string) *Report {
+	out := &Report{Title: title}
+	if len(attributes) == 0 {
+		out.Lines = append(out.Lines, r.Lines...)
+		return out
+	}
+	want := map[string]bool{}
+	for _, a := range attributes {
+		want[a] = true
+	}
+	for _, l := range r.Lines {
+		if want[l.Attribute] {
+			out.Lines = append(out.Lines, l)
+		}
+	}
+	return out
 }
 
 // Conflicted returns only the lines where sources disagreed — the lines a

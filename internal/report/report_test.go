@@ -4,12 +4,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/context"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fusion"
-	"repro/internal/ontology"
-	"repro/internal/sources"
 )
 
 func results() []fusion.Result {
@@ -86,33 +82,5 @@ func TestAnnotationHandle(t *testing.T) {
 	e, a := l.AnnotationHandle()
 	if e != "e1" || a != "price" {
 		t.Error("handle wrong")
-	}
-}
-
-// Integration: build a report from a live wrangler and check supporters
-// are populated.
-func TestBuildFromWrangler(t *testing.T) {
-	w := sources.NewWorld(81, 120, 0)
-	cfg := sources.DefaultConfig(81, 5)
-	cfg.CleanShare = 1
-	cfg.StaleMax = 0
-	u := sources.Generate(w, cfg)
-	dc := context.NewDataContext().WithTaxonomy(ontology.ProductTaxonomy())
-	wr := core.New(u, core.ProductConfig(), nil, dc)
-	if _, err := wr.Run(); err != nil {
-		t.Fatal(err)
-	}
-	r := Build(wr, "price intelligence", []string{"price"})
-	if len(r.Lines) == 0 {
-		t.Fatal("empty report")
-	}
-	withSupport := 0
-	for _, l := range r.Lines {
-		if len(l.Supporters) > 0 {
-			withSupport++
-		}
-	}
-	if withSupport < len(r.Lines)/2 {
-		t.Errorf("only %d/%d lines have supporters", withSupport, len(r.Lines))
 	}
 }

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	n     int
+	label string
+}
+
+func TestPublishLatestAt(t *testing.T) {
+	s := NewStore[payload](3)
+	if s.Latest() != nil {
+		t.Fatal("Latest before any publish should be nil")
+	}
+	if _, err := s.At(1); err == nil {
+		t.Fatal("At(1) before any publish should error")
+	}
+	v1 := s.Publish(payload{n: 10, label: "a"}, 7, OriginRun, time.Unix(100, 0))
+	if v1.Seq() != 1 || v1.Step() != 7 || v1.Origin() != OriginRun {
+		t.Fatalf("v1 = seq %d step %d origin %q", v1.Seq(), v1.Step(), v1.Origin())
+	}
+	if got := s.Latest(); got != v1 {
+		t.Fatalf("Latest = %v, want v1", got)
+	}
+	v2 := s.Publish(payload{n: 20, label: "b"}, 9, OriginFeedback, time.Unix(200, 0))
+	if v2.Seq() != 2 {
+		t.Fatalf("v2.Seq = %d", v2.Seq())
+	}
+	if got := s.Latest(); got != v2 {
+		t.Fatalf("Latest = seq %d, want 2", got.Seq())
+	}
+	// v1 is still retained and unchanged: copy-on-write means a committed
+	// version is frozen forever.
+	got, err := s.At(1)
+	if err != nil {
+		t.Fatalf("At(1): %v", err)
+	}
+	if got.Data().n != 10 || got.Data().label != "a" {
+		t.Fatalf("At(1).Data = %+v", got.Data())
+	}
+}
+
+func TestRetentionPrunesOldest(t *testing.T) {
+	s := NewStore[payload](2)
+	for i := 1; i <= 5; i++ {
+		s.Publish(payload{n: i}, uint64(i), OriginRefresh, time.Unix(int64(i), 0))
+	}
+	want := []uint64{4, 5}
+	got := s.Versions()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Versions = %v, want %v", got, want)
+	}
+	if _, err := s.At(3); err == nil {
+		t.Fatal("At(3) should report pruned")
+	}
+	if _, err := s.At(99); err == nil {
+		t.Fatal("At(99) should report non-existent")
+	}
+	if v, err := s.At(5); err != nil || v.Data().n != 5 {
+		t.Fatalf("At(5) = %v, %v", v, err)
+	}
+}
+
+func TestDefaultRetain(t *testing.T) {
+	if got := NewStore[int](0).Retain(); got != DefaultRetain {
+		t.Fatalf("Retain = %d, want %d", got, DefaultRetain)
+	}
+	if got := NewStore[int](-3).Retain(); got != DefaultRetain {
+		t.Fatalf("Retain = %d, want %d", got, DefaultRetain)
+	}
+	if got := NewStore[int](10).Retain(); got != 10 {
+		t.Fatalf("Retain = %d, want 10", got)
+	}
+}
+
+// TestConcurrentReadersNeverTorn hammers Latest from many goroutines while
+// a publisher commits versions, asserting every observed version is
+// internally consistent (both payload fields from the same commit) and
+// that each reader observes a non-decreasing sequence.
+func TestConcurrentReadersNeverTorn(t *testing.T) {
+	s := NewStore[payload](3)
+	const versions = 500
+	labels := []string{"", "aa", "bb", "cc"}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for !stop.Load() {
+				v := s.Latest()
+				if v == nil {
+					continue
+				}
+				if v.Seq() < lastSeq {
+					t.Errorf("sequence went backwards: %d after %d", v.Seq(), lastSeq)
+					return
+				}
+				lastSeq = v.Seq()
+				p := v.Data()
+				if want := labels[p.n%4]; p.label != want {
+					t.Errorf("torn read: n=%d label=%q", p.n, p.label)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= versions; i++ {
+		s.Publish(payload{n: i, label: labels[i%4]}, uint64(i), OriginRun, time.Unix(int64(i), 0))
+	}
+	stop.Store(true)
+	wg.Wait()
+	if s.Latest().Seq() != versions {
+		t.Fatalf("final seq = %d", s.Latest().Seq())
+	}
+}
+
+// TestConcurrentPublishers checks that racing publishers never commit out
+// of order: Latest always carries the highest sequence committed so far.
+func TestConcurrentPublishers(t *testing.T) {
+	s := NewStore[int](4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := s.Publish(i, 0, OriginRefresh, time.Unix(0, 0))
+				if cur := s.Latest(); cur.Seq() < v.Seq() {
+					t.Errorf("Latest seq %d < just-published %d", cur.Seq(), v.Seq())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Latest().Seq(); got != 400 {
+		t.Fatalf("final seq = %d, want 400", got)
+	}
+}

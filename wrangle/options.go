@@ -39,6 +39,8 @@ type settings struct {
 
 	parallelism int
 
+	retainVersions int
+
 	seed         int64
 	synthSources int
 }
@@ -185,6 +187,22 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("parallelism must be at least 1, got %d", n)
 		}
 		s.parallelism = n
+		return nil
+	}
+}
+
+// WithRetainVersions bounds how many committed snapshot versions the
+// session's serving store keeps (n >= 1; the default is a small
+// window). Every successful Run / ApplyFeedback / Refresh
+// publishes a copy-on-write version that Session.View reads lock-free;
+// retention caps the store's memory at n versions, and View.At can reach
+// back exactly that far.
+func WithRetainVersions(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("retain versions must be at least 1, got %d", n)
+		}
+		s.retainVersions = n
 		return nil
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
 
 	"repro/internal/core"
@@ -17,9 +18,13 @@ var ErrBudgetExhausted = errors.New("wrangle: feedback budget exhausted")
 
 // Session is one wrangling lifecycle over a fixed provider and contexts:
 // Run, then any number of ApplyFeedback / Refresh reactions, reading
-// reports and results in between. Methods are safe for concurrent use
-// (they serialise on an internal lock — the underlying pipeline mutates
-// shared working data).
+// reports and results in between. Methods are safe for concurrent use.
+// Writers (Run, ApplyFeedback, Refresh) serialise on an internal lock —
+// the underlying pipeline mutates shared working data — and commit their
+// output as an immutable snapshot version. Readers (View, Wrangled,
+// Trust, Snapshot) serve from the latest committed version without
+// touching that lock, so read traffic never waits for an in-flight
+// reaction.
 type Session struct {
 	mu     sync.Mutex
 	w      *core.Wrangler
@@ -35,15 +40,19 @@ type Session struct {
 // deterministically, so the output is byte-identical at any worker count.
 // The context is checked at every task boundary; a cancelled run returns
 // ctx.Err() without merging partial fan-out results.
+// The returned table is the immutable published copy of the run's output
+// (see Wrangled); later reactions publish new versions instead of
+// mutating it.
 func (s *Session) Run(ctx context.Context) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, err := s.w.RunContext(ctx)
-	if err != nil {
+	if _, err := s.w.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	s.ran = true
-	return t, nil
+	// A successful run always commits a version; hand out its
+	// copy-on-write table, never the live working-data pointer.
+	return s.w.Serve.Latest().Data().Table, nil
 }
 
 // ApplyFeedback records the given feedback items and reacts
@@ -96,51 +105,84 @@ func (s *Session) Refresh(ctx context.Context, sourceIDs ...string) (ReactStats,
 	return s.w.RefreshSourcesContext(ctx, sourceIDs)
 }
 
-// Report renders the current fused results as a reviewable report,
-// restricted to the given attributes (none = all). Each line carries the
-// fused value, confidence, conflict flag and supporting sources — the
-// annotation handles that flow back in via ApplyFeedback.
+// Report renders the latest committed version's fused results as a
+// reviewable report, restricted to the given attributes (none = all).
+// Each line carries the fused value, confidence, conflict flag and
+// supporting sources — the annotation handles that flow back in via
+// ApplyFeedback. Like the other readers it serves from the published
+// snapshot without taking the session lock, so it never blocks on an
+// in-flight reaction and always pairs consistently with Wrangled().
 func (s *Session) Report(title string, attributes ...string) *Report {
+	if v := s.w.Serve.Latest(); v != nil {
+		return v.Data().Report.Filter(title, attributes...)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return report.Build(s.w, title, attributes)
 }
 
-// Wrangled returns the current wrangled table (nil before Run).
+// Wrangled returns the wrangled table of the latest committed version
+// (nil before Run). The table is an immutable copy-on-write snapshot:
+// later reactions publish new versions instead of mutating it, so a
+// caller can hold it across ApplyFeedback / Refresh without ever
+// observing a change. It is shared with every other reader of the same
+// version — treat it as read-only. For a full consistent snapshot
+// (table + report + stats + trust from one commit), use View.
 func (s *Session) Wrangled() *Table {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.w.Wrangled()
+	v := s.w.Serve.Latest()
+	if v == nil {
+		return nil
+	}
+	return v.Data().Table
 }
 
-// Stats reports what the last full run touched.
+// Stats reports what the last full run touched, including the per-stage
+// wall-clock attribution (Stats().Stages), as of the latest committed
+// version. The returned stats are the caller's own copy: reactions
+// publish new versions instead of mutating them, and the maps are not
+// shared with other callers.
 func (s *Session) Stats() RunStats {
+	if v := s.w.Serve.Latest(); v != nil {
+		return v.Data().Stats.Clone()
+	}
+	// Before the first publication nothing has run; the zero-valued live
+	// stats carry no reference fields a reaction could later mutate.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.LastStats
 }
 
 // Snapshot reports per-source selection, utility and quality dimensions
-// from the last selection pass.
+// as of the latest committed version. The returned map is the caller's
+// own copy — mutating it affects nobody. Before the first publication it
+// reflects the live (empty) working data.
 func (s *Session) Snapshot() map[string]SourceReport {
+	if v := s.w.Serve.Latest(); v != nil {
+		return maps.Clone(v.Data().Sources)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.Snapshot()
 }
 
-// SelectedSources returns the ids of sources used in the last
-// integration.
+// SelectedSources returns the ids of sources integrated into the latest
+// committed version (nil before Run). The slice is the caller's own copy.
 func (s *Session) SelectedSources() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.w.SelectedSources()
+	v := s.w.Serve.Latest()
+	if v == nil {
+		return nil
+	}
+	return append([]string(nil), v.Data().Selected...)
 }
 
-// Trust returns the per-source trust map of the last fusion.
+// Trust returns the per-source trust map of the latest committed
+// version's fusion. The returned map is the caller's own copy.
 func (s *Session) Trust() map[string]float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.w.Trust()
+	v := s.w.Serve.Latest()
+	if v == nil {
+		return nil
+	}
+	return maps.Clone(v.Data().Trust)
 }
 
 // FeedbackSpent returns the total feedback cost recorded so far.

@@ -71,6 +71,11 @@ func New(opts ...Option) (*Session, error) {
 
 	w := core.New(provider, cfg, userCtx, dataCtx)
 	w.Parallelism = s.parallelism // 0 = auto: one worker per CPU
+	if s.retainVersions > 0 {
+		// Replaced before the first run, so no reader can hold the default
+		// store yet.
+		w.Serve = core.NewVersionStore(s.retainVersions)
+	}
 	return &Session{
 		w:      w,
 		domain: s.domain,
