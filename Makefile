@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz
 
 check: build vet test
 
@@ -21,11 +21,20 @@ race:
 
 # bench prints the experiment benchmark suite (E1-E10, F1), then records
 # the engine scaling benchmark (1/2/4/8 workers over a 24-source universe)
-# as test2json events in BENCH_PR2.json and the serving-layer read
+# as test2json events in BENCH_PR2.json, the serving-layer read
 # throughput (1/4/16 concurrent readers against a mutating session) in
-# BENCH_PR3.json — the PR-over-PR perf trajectory. The patterns are
-# disjoint so nothing runs twice.
+# BENCH_PR3.json, and the sharded integration tail (1/2/4/8 blocking
+# shards) plus delta-vs-full publication in BENCH_PR4.json — the
+# PR-over-PR perf trajectory. The patterns are disjoint so nothing runs
+# twice.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
 	$(GO) test -bench=BenchmarkServeReads -benchmem -run=^$$ -json . > BENCH_PR3.json
+	$(GO) test -bench='^Benchmark(ShardedIntegration|DeltaPublish)$$' -benchmem -run=^$$ -json . > BENCH_PR4.json
+
+# fuzz runs the sharded-resolve equivalence fuzzer briefly — the same
+# smoke CI runs. Longer local sessions: go test -fuzz=FuzzSharded
+# -fuzztime=5m ./internal/wrangletest
+fuzz:
+	$(GO) test -fuzz=FuzzSharded -fuzztime=10s -run=^$$ ./internal/wrangletest

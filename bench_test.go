@@ -12,8 +12,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/wrangletest"
 	"repro/wrangle"
 )
 
@@ -238,4 +242,88 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// BenchmarkShardedIntegration measures the sharded integration tail in
+// isolation: one wide synthetic union (24 sources) is wrangled once,
+// then the select → resolve → fuse → merge tail re-runs per iteration
+// (an empty refresh batch recomputes exactly the tail plus one delta
+// publication) at 1/2/4/8 blocking shards. Output is byte-identical at
+// every shard count — the determinism harness pins that — so the only
+// thing this table may show moving is wall clock. On the 1-CPU bench
+// container the fan-out cannot beat one shard (expect flat-to-slightly-
+// worse from merge bookkeeping); on multi-core the resolve/fuse tasks
+// overlap up to the component structure's limit. `make bench` records
+// this table and BenchmarkDeltaPublish to BENCH_PR4.json.
+func BenchmarkShardedIntegration(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w := wrangletest.NewWrangler(3, 24, shards)
+			if _, err := w.Run(); err != nil {
+				b.Fatal(err)
+			}
+			rows := w.Union().Len()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RefreshSourcesContext(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows), "union_rows")
+		})
+	}
+}
+
+// BenchmarkDeltaPublish contrasts the two publication strategies over a
+// wide wrangled table: "full-copy" deep-copies every record into the
+// next version (the sequential tail's publish), "delta" re-clones only
+// one of eight shard pages and pointer-shares the other seven with the
+// predecessor (the sharded tail's publish after a one-shard reaction).
+// Time and allocations per published version are the headline numbers —
+// delta publication is O(changed shard), not O(table).
+func BenchmarkDeltaPublish(b *testing.B) {
+	const rows, pages = 4096, 8
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+		dataset.Field{Name: "brand", Kind: dataset.KindString},
+		dataset.Field{Name: "category", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+		dataset.Field{Name: "rating", Kind: dataset.KindFloat},
+	)
+	base := dataset.NewTable(schema)
+	for i := 0; i < rows; i++ {
+		base.AppendValues(
+			dataset.String(fmt.Sprintf("SKU-%05d", i)),
+			dataset.String(fmt.Sprintf("Product %d deluxe edition", i)),
+			dataset.String("BrandCo"),
+			dataset.String("gadgets"),
+			dataset.Float(float64(i)*1.5),
+			dataset.Float(4.2),
+		)
+	}
+	b.Run("full-copy", func(b *testing.B) {
+		store := serve.NewStore[*dataset.Table](4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.Publish(base.Clone(), uint64(i), serve.OriginRefresh, time.Time{})
+		}
+	})
+	b.Run("delta-1-of-8", func(b *testing.B) {
+		store := serve.NewStore[*dataset.Table](4)
+		pageLen := rows / pages
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dirty := i % pages
+			next := dataset.NewTable(base.Schema().Clone())
+			for r := 0; r < rows; r++ {
+				rec := base.Row(r)
+				if r/pageLen == dirty {
+					rec = rec.Clone() // the changed shard republishes fresh records
+				}
+				next.Append(rec) // untouched shards: pointer-shared storage
+			}
+			store.Publish(next, uint64(i), serve.OriginRefresh, time.Time{})
+		}
+	})
 }

@@ -36,6 +36,7 @@ func main() {
 	ctxName := flag.String("context", "balanced", "user context: balanced, routine or investigation")
 	maxSources := flag.Int("max-sources", 0, "source budget (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "per-source worker bound (0 = one per CPU, 1 = sequential)")
+	shards := flag.Int("shards", 0, "integration-tail shards (0 = sequential tail; output is identical at any count)")
 	csvOut := flag.String("csv", "", "write wrangled table as CSV to this file")
 	serveMode := flag.Bool("serve", false, "after the run, serve snapshot versions over HTTP while refreshing in the background")
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address for -serve")
@@ -48,6 +49,10 @@ func main() {
 	// particular must not start a server off a half-valid configuration.
 	if *parallelism < 0 {
 		fmt.Fprintf(os.Stderr, "wrangle: parallelism must be >= 1, or 0 for one worker per CPU (got %d)\n", *parallelism)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "wrangle: shards must be >= 1, or 0 for a sequential integration tail (got %d)\n", *shards)
 		os.Exit(2)
 	}
 	if *retain < 0 {
@@ -84,6 +89,12 @@ func main() {
 		// Output is byte-identical at any worker count; the flag only
 		// trades wall-clock for cores.
 		opts = append(opts, wrangle.WithParallelism(*parallelism))
+	}
+	if *shards >= 1 {
+		// Likewise byte-identical at any shard count: sharding fans the
+		// select → integrate → fuse tail out and turns publications into
+		// per-shard deltas.
+		opts = append(opts, wrangle.WithIntegrationShards(*shards))
 	}
 	var u *synth.Universe
 	switch *domain {

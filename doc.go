@@ -14,16 +14,25 @@
 // facade, internal/engine executes each run as a task DAG on a bounded
 // worker pool: per-source extraction chains fan out in parallel
 // (WithParallelism / WithSequential) and merge deterministically, so a
-// parallel run is byte-identical to a sequential one. Each successful
-// run and reaction then commits an immutable copy-on-write snapshot
-// version into internal/serve; Session.View pins the latest version with
-// one atomic load, so heavy read traffic is served lock-free and
-// untorn while feedback and refresh reactions churn in the background
+// parallel run is byte-identical to a sequential one. The integration
+// tail — entity resolution and fusion over the global union — shards by
+// blocking key too (WithIntegrationShards): block-connected components
+// route whole to deterministic owner shards, resolve and fuse as engine
+// tasks, and merge back byte-identically to the sequential tail at any
+// shard count, a property pinned by the internal/wrangletest
+// determinism harness and its fuzz target. Each successful run and
+// reaction then commits an immutable copy-on-write snapshot version
+// into internal/serve; Session.View pins the latest version with one
+// atomic load, so heavy read traffic is served lock-free and untorn
+// while feedback and refresh reactions churn in the background
 // (WithRetainVersions bounds the history, cmd/wrangle -serve exposes it
-// over HTTP). README.md holds the quickstart, CLI usage, and the
-// architecture and version-lifecycle diagrams, ROADMAP.md the north
-// star and open items, and repro/wrangle/experiments the paper-claim
-// experiment index that cmd/experiments prints.
+// over HTTP). Sharded sessions publish versions as deltas: a reaction
+// that leaves a shard's fused rows unchanged shares that shard's
+// records with the predecessor version, making publication O(changed
+// shard). README.md holds the quickstart, CLI usage, and the
+// architecture, shard/merge and delta-version diagrams, ROADMAP.md the
+// north star and open items, and repro/wrangle/experiments the
+// paper-claim experiment index that cmd/experiments prints.
 //
 // The root package holds the benchmark suite (bench_test.go): one
 // testing.B benchmark per experiment, regenerating the tables that

@@ -143,6 +143,14 @@ type Wrangler struct {
 	// and refresh. Readers hold committed versions lock-free; replace the
 	// store (before the first run) to change its retention bound.
 	Serve *VersionStore
+	// IntegrationShards splits the integration tail (entity resolution +
+	// fusion) into this many disjoint blocking shards that resolve and
+	// fuse as parallel engine tasks and merge deterministically: the
+	// output is byte-identical to the sequential tail at every shard
+	// count. 0 (the default) keeps the tail sequential. Sharded tails
+	// additionally publish snapshot deltas — versions share the table
+	// records of every shard whose fused rows did not change.
+	IntegrationShards int
 
 	states       map[string]*sourceState
 	resolver     *er.Resolver
@@ -154,6 +162,8 @@ type Wrangler struct {
 	supporters   map[string][]string // lazy (entity,attr) → supporting sources
 	wrangled     *dataset.Table
 	trust        map[string]float64
+	pages        []*shardPage   // sharded tail only: per-shard fused output, immutable once built
+	entityShard  map[string]int // sharded tail only: entity -> owning shard of the last integration
 	lastSeq      int
 	LastStats    RunStats
 }
@@ -226,9 +236,7 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	}, deps...); err != nil {
 		return nil, err
 	}
-	if err := g.Add("integrate", func(context.Context) error {
-		return w.integrate()
-	}, "select"); err != nil {
+	if err := w.addIntegrationTasks(g, "select"); err != nil {
 		return nil, err
 	}
 	if err := g.Run(ctx, w.workers()); err != nil {
@@ -241,14 +249,21 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 }
 
 // stageTimings folds the engine's per-task wall clock into per-stage
-// attribution: every "source[...]" task accrues to "sources", the named
-// barrier tasks keep their own key.
+// attribution: every "source[...]" task accrues to "sources", the
+// integration tail's tasks — sequential ("integrate") or sharded
+// ("integrate:*", "resolve[...]", "fuse[...]") — accrue to "integrate",
+// and the named barrier tasks keep their own key.
 func stageTimings(tasks map[string]time.Duration) map[string]time.Duration {
 	stages := make(map[string]time.Duration, 3)
 	for id, d := range tasks {
-		if strings.HasPrefix(id, "source[") {
+		switch {
+		case strings.HasPrefix(id, "source["):
 			stages["sources"] += d
-		} else {
+		case strings.HasPrefix(id, "integrate"),
+			strings.HasPrefix(id, "resolve["),
+			strings.HasPrefix(id, "fuse["):
+			stages["integrate"] += d
+		default:
 			stages[id] += d
 		}
 	}
@@ -547,8 +562,31 @@ func relevanceScore(votes, coverage float64) float64 {
 func isNaN(f float64) bool { return f != f }
 
 // integrate unions selected mapped tables, resolves entities and fuses
-// values into the wrangled table.
+// values into the wrangled table — the sequential integration tail.
+// Sessions configured with IntegrationShards > 0 run the sharded twin
+// (shard.go) instead; the two are byte-identical by construction and by
+// the wrangletest determinism harness.
 func (w *Wrangler) integrate() error {
+	empty, err := w.buildUnion()
+	if err != nil || empty {
+		return err
+	}
+	must, cannot := w.pairConstraints()
+	clusters, _, err := w.resolver.ResolveConstrained(w.union, must, cannot)
+	if err != nil {
+		return fmt.Errorf("core: resolve: %w", err)
+	}
+	w.clusters = clusters
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindCluster, ID: "union"}, "er.Resolve", w.mappingRefs(w.selectedIDs()), "")
+	return w.fuse()
+}
+
+// buildUnion assembles the union table from the selected mapped tables,
+// repairs profiled FD violations, and prepares the resolver (including
+// Corleone-style refinement from pair feedback). It is the shared head of
+// both integration tails. empty reports that there was nothing to
+// integrate — the working data has already been reset to an empty result.
+func (w *Wrangler) buildUnion() (empty bool, err error) {
 	w.union = dataset.NewTable(w.Config.Target.Clone())
 	w.unionSources = w.unionSources[:0]
 	ids := w.selectedIDs()
@@ -563,27 +601,20 @@ func (w *Wrangler) integrate() error {
 		w.wrangled = dataset.NewTable(w.Config.Target.Clone())
 		w.results = nil
 		w.supporters = nil
-		return nil
+		w.pages = nil
+		w.entityShard = nil
+		return true, nil
 	}
 	// Profile the integrated data for near-exact functional dependencies
 	// (e.g. sku -> brand) and repair their violations — typos introduced
 	// by individual sources are outvoted by their own key group before
 	// entity resolution sees them (cost-based repair, quality package).
-	if w.union.Len() > 0 {
-		if _, _, err := quality.ProfileAndRepair(w.union, 0.9); err != nil {
-			return fmt.Errorf("core: profile repair: %w", err)
-		}
+	if _, _, err := quality.ProfileAndRepair(w.union, 0.9); err != nil {
+		return false, fmt.Errorf("core: profile repair: %w", err)
 	}
 	w.resolver = er.NewResolver(w.Config.KeyColumn, w.Config.NameColumn, w.Config.SecondaryColumn, w.Config.NumericColumn)
 	w.applyPairFeedback()
-	must, cannot := w.pairConstraints()
-	clusters, _, err := w.resolver.ResolveConstrained(w.union, must, cannot)
-	if err != nil {
-		return fmt.Errorf("core: resolve: %w", err)
-	}
-	w.clusters = clusters
-	w.Prov.Put(provenance.Ref{Kind: provenance.KindCluster, ID: "union"}, "er.Resolve", w.mappingRefs(ids), "")
-	return w.fuse(ids)
+	return false, nil
 }
 
 // applyPairFeedback feeds accumulated duplicate labels into the resolver
@@ -655,13 +686,14 @@ func (w *Wrangler) pairConstraints() (must, cannot []er.Pair) {
 }
 
 // rowKeyIndex maps "sourceID#rowIdxInSource" to union row index; this is
-// the stable row addressing feedback uses.
+// the stable row addressing feedback uses. Derived from rowKeys
+// (shard.go) so the one key format serves feedback addressing and shard
+// routing alike.
 func (w *Wrangler) rowKeyIndex() map[string]int {
-	out := map[string]int{}
-	counts := map[string]int{}
-	for i, src := range w.unionSources {
-		out[fmt.Sprintf("%s#%d", src, counts[src])] = i
-		counts[src]++
+	keys := w.rowKeys()
+	out := make(map[string]int, len(keys))
+	for i, k := range keys {
+		out[k] = i
 	}
 	return out
 }
@@ -675,13 +707,39 @@ func (w *Wrangler) RowKey(i int) string {
 			count++
 		}
 	}
-	return fmt.Sprintf("%s#%d", src, count)
+	return rowKey(src, count)
 }
 
 // fuse builds claims from the union rows grouped by cluster and fuses them
 // under the context-appropriate policy.
-func (w *Wrangler) fuse(ids []string) error {
+func (w *Wrangler) fuse() error {
 	w.entityIDs = w.entityNames()
+	claims := w.buildClaims()
+	opts := w.fusionOptions()
+	w.results = fusion.Fuse(claims, opts)
+	w.supporters = nil // new results: the supporters index is stale
+	w.trust = opts.Trust
+	w.pages = nil // sequential tail: no shard pages to share
+	w.entityShard = nil
+
+	// Materialise the wrangled table: one row per entity.
+	_, rows := materialize(w.results, w.Config.Target)
+	out := dataset.NewTable(w.Config.Target.Clone())
+	for _, r := range rows {
+		out.Append(r)
+	}
+	w.wrangled = out
+	w.LastStats.RowsWrangled = out.Len()
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
+		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, opts.Policy.String())
+	return nil
+}
+
+// buildClaims flattens the union into one claim per (row, attribute),
+// in row order — the order fusion's bucket representatives and float
+// accumulation depend on. The freshness column feeds each claim's AsOf
+// and is not itself claimed.
+func (w *Wrangler) buildClaims() []fusion.Claim {
 	var claims []fusion.Claim
 	tc := -1
 	if w.Config.TimeColumn != "" {
@@ -705,15 +763,18 @@ func (w *Wrangler) fuse(ids []string) error {
 			})
 		}
 	}
-	opts := w.fusionOptions()
-	w.results = fusion.Fuse(claims, opts)
-	w.supporters = nil // new results: the supporters index is stale
-	w.trust = opts.Trust
+	return claims
+}
 
-	// Materialise the wrangled table: one row per entity.
+// materialize turns fused results into one record per entity, entities
+// sorted ascending — the row order of the wrangled table. It is shared
+// by the sequential tail (over all results) and the sharded tail (per
+// shard page), which is what makes the merged sharded table equal the
+// sequential one row for row.
+func materialize(results []fusion.Result, target dataset.Schema) (entities []string, rows []dataset.Record) {
 	byEntity := map[string]map[string]dataset.Value{}
 	var order []string
-	for _, res := range w.results {
+	for _, res := range results {
 		if byEntity[res.Entity] == nil {
 			byEntity[res.Entity] = map[string]dataset.Value{}
 			order = append(order, res.Entity)
@@ -721,23 +782,19 @@ func (w *Wrangler) fuse(ids []string) error {
 		byEntity[res.Entity][res.Attribute] = res.Value
 	}
 	sort.Strings(order)
-	out := dataset.NewTable(w.Config.Target.Clone())
+	out := make([]dataset.Record, 0, len(order))
 	for _, e := range order {
-		row := make(dataset.Record, len(w.Config.Target))
-		for i, f := range w.Config.Target {
+		row := make(dataset.Record, len(target))
+		for i, f := range target {
 			v, ok := byEntity[e][f.Name]
 			if !ok {
 				v = dataset.Null()
 			}
 			row[i] = v
 		}
-		out.Append(row)
+		out = append(out, row)
 	}
-	w.wrangled = out
-	w.LastStats.RowsWrangled = out.Len()
-	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
-		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, opts.Policy.String())
-	return nil
+	return order, out
 }
 
 // fusionOptions self-configures the fusion policy from the user context:

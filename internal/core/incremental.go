@@ -128,14 +128,14 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 	tailStart := time.Now()
 	switch {
 	case needRecluster:
-		if err := w.integrate(); err != nil {
+		if err := w.integrateTail(ctx); err != nil {
 			return stats, err
 		}
 		stats.Reclustered = true
 		stats.Refused = true
 		stats.Stages["integrate"] = time.Since(tailStart)
 	case needRefuse:
-		if err := w.fuse(w.selectedIDs()); err != nil {
+		if err := w.fuseTail(ctx); err != nil {
 			return stats, err
 		}
 		stats.Refused = true
@@ -234,7 +234,7 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 		return stats, errors.Join(errs...)
 	}
 	tailStart := time.Now()
-	if err := w.integrate(); err != nil {
+	if err := w.integrateTail(ctx); err != nil {
 		errs = append(errs, err)
 		return stats, errors.Join(errs...)
 	}

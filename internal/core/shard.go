@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/er"
+	"repro/internal/fusion"
+	"repro/internal/provenance"
+)
+
+// This file is the sharded integration tail: the select → integrate →
+// fuse chain that used to walk one global union table now partitions the
+// union by blocking key (er.ShardPlan), resolves and fuses every shard as
+// an independent engine task, and merges shard outputs with a stable,
+// provider-order-independent merge. The contract is strict: at every
+// shard count the merged table, report, results, trust and provenance
+// are byte-identical to the sequential tail's (pinned by the
+// internal/wrangletest determinism harness). Sharding buys two things —
+// the tail fans out instead of being the run's Amdahl ceiling, and
+// publication becomes incremental: each shard's fused rows form an
+// immutable page, and a reaction that leaves a shard's rows unchanged
+// publishes a version sharing that page's records with its predecessor
+// (O(changed shard) publication instead of a full deep copy).
+
+// shardPage is one shard's slice of the wrangled output: its fused
+// entities (sorted), one record per entity, and the shard's fused
+// results. Records are immutable once built — published versions alias
+// them, so nothing may ever write through a page.
+type shardPage struct {
+	entities []string
+	rows     []dataset.Record
+	results  []fusion.Result
+}
+
+// rowsEqual reports whether two pages fuse the same entities to the same
+// values — the condition under which the new page may share the old
+// page's records instead of carrying fresh allocations.
+func (p *shardPage) rowsEqual(q *shardPage) bool {
+	if p == nil || q == nil || len(p.entities) != len(q.entities) {
+		return false
+	}
+	for i := range p.entities {
+		if p.entities[i] != q.entities[i] || !p.rows[i].Equal(q.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// shardRun is the scratch state one sharded integration passes between
+// its engine tasks. Each field is written by exactly one stage and only
+// read after the barrier that stage feeds.
+type shardRun struct {
+	plan         *er.ShardPlan
+	must, cannot []er.Pair
+	roots        []map[int]int    // resolve fan-out: shard -> row -> cluster representative
+	claims       [][]fusion.Claim // cluster barrier: shard -> its entities' claims
+	opts         fusion.Options   // cluster barrier: trust already estimated
+	pages        []*shardPage     // fuse fan-out
+	empty        bool             // nothing to integrate; all stages no-op
+}
+
+// addIntegrationTasks wires the integration tail into g after deps. With
+// IntegrationShards <= 0 that is the single sequential "integrate" task;
+// otherwise the sharded pipeline: plan (union + blocking partition) →
+// resolve[shard] fan-out → cluster barrier (merge clusters, name
+// entities, estimate trust globally) → fuse[shard] fan-out → merge.
+func (w *Wrangler) addIntegrationTasks(g *engine.Graph, deps ...string) error {
+	n := w.IntegrationShards
+	if n <= 0 {
+		return g.Add("integrate", func(context.Context) error { return w.integrate() }, deps...)
+	}
+	sr := &shardRun{}
+	if err := g.Add("integrate:plan", func(context.Context) error {
+		return w.shardPlanStage(sr, n)
+	}, deps...); err != nil {
+		return err
+	}
+	resolveIDs, err := g.AddFanOut("resolve", n, func(_ context.Context, i int) error {
+		return w.shardResolveStage(sr, i)
+	}, "integrate:plan")
+	if err != nil {
+		return err
+	}
+	if err := g.Add("integrate:cluster", func(context.Context) error {
+		return w.shardClusterStage(sr)
+	}, resolveIDs...); err != nil {
+		return err
+	}
+	return w.addFuseMergeTasks(g, sr, n, "integrate:cluster")
+}
+
+// addFuseMergeTasks wires the back half of the sharded tail — the
+// fuse[shard] fan-out and the merge barrier — shared by the full
+// integration pipeline and the fuse-only reaction (fuseTail), so the
+// two paths cannot drift apart in task ids (which stage attribution
+// matches on) or dependency shape.
+func (w *Wrangler) addFuseMergeTasks(g *engine.Graph, sr *shardRun, n int, deps ...string) error {
+	fuseIDs, err := g.AddFanOut("fuse", n, func(_ context.Context, i int) error {
+		w.shardFuseStage(sr, i)
+		return nil
+	}, deps...)
+	if err != nil {
+		return err
+	}
+	return g.Add("integrate:merge", func(context.Context) error {
+		return w.shardMergeStage(sr)
+	}, fuseIDs...)
+}
+
+// integrateTail recomputes the integration tail outside a full run — the
+// feedback and refresh reaction paths. The sequential tail runs inline;
+// the sharded tail runs as its own engine graph over the wrangler's
+// worker bound, cancellable at every task boundary.
+func (w *Wrangler) integrateTail(ctx context.Context) error {
+	if w.IntegrationShards <= 0 {
+		return w.integrate()
+	}
+	g := engine.NewGraph()
+	if err := w.addIntegrationTasks(g); err != nil {
+		return err
+	}
+	return g.Run(ctx, w.workers())
+}
+
+// fuseTail recomputes fusion only — the value-feedback reaction, where
+// trust moved but the union and clustering did not. The sequential path
+// re-fuses inline; a sharded session re-fuses per shard using the
+// entity routing of its last integration, so the cheapest and most
+// common reaction keeps the fan-out AND the delta chain: untouched
+// shards' pages still share records with the predecessor version
+// instead of the whole table being deep-copied.
+func (w *Wrangler) fuseTail(ctx context.Context) error {
+	if w.IntegrationShards <= 0 || len(w.entityShard) == 0 || len(w.pages) == 0 {
+		// Sequential session, or no sharded integration to reuse (e.g.
+		// the last union was empty).
+		return w.fuse()
+	}
+	n := len(w.pages)
+	// Mirror the sequential fuse exactly: entity names first (clusters
+	// are unchanged, so this is a recomputation of the same names), then
+	// claims, then the global trust stage.
+	w.entityIDs = w.entityNames()
+	claims := w.buildClaims()
+	sr := &shardRun{
+		claims: make([][]fusion.Claim, n),
+		pages:  make([]*shardPage, n),
+		opts:   fusion.EstimateTrust(claims, w.fusionOptions()),
+	}
+	for _, c := range claims {
+		s := w.entityShard[c.Entity]
+		sr.claims[s] = append(sr.claims[s], c)
+	}
+	g := engine.NewGraph()
+	if err := w.addFuseMergeTasks(g, sr, n); err != nil {
+		return err
+	}
+	return g.Run(ctx, w.workers())
+}
+
+// shardPlanStage builds the union (shared head with the sequential tail:
+// FD repair, resolver refinement from feedback) and partitions it into
+// blocking shards. Cross-shard blocks cannot exist by construction: the
+// plan routes whole block-connected components, keyed by their smallest
+// stable row key, to a deterministic owner shard.
+func (w *Wrangler) shardPlanStage(sr *shardRun, n int) error {
+	empty, err := w.buildUnion()
+	if err != nil {
+		return err
+	}
+	if empty {
+		sr.empty = true
+		return nil
+	}
+	sr.must, sr.cannot = w.pairConstraints()
+	plan, err := w.resolver.PlanShards(w.union, n, sr.must, w.rowKeys())
+	if err != nil {
+		// Same wrapping as the sequential tail's ResolveConstrained
+		// failure: a misconfigured resolver fails identically either way.
+		return fmt.Errorf("core: resolve: %w", err)
+	}
+	sr.plan = plan
+	sr.roots = make([]map[int]int, n)
+	sr.claims = make([][]fusion.Claim, n)
+	sr.pages = make([]*shardPage, n)
+	return nil
+}
+
+// shardResolveStage clusters one shard. It reads only immutable run state
+// (union rows, the plan, the refined resolver) and writes only its own
+// slot, so the fan-out needs no locks.
+func (w *Wrangler) shardResolveStage(sr *shardRun, i int) error {
+	if sr.empty {
+		return nil
+	}
+	roots, _, err := w.resolver.ResolveShard(w.union, sr.plan, i, sr.must, sr.cannot)
+	if err != nil {
+		return fmt.Errorf("core: resolve shard %d: %w", i, err)
+	}
+	sr.roots[i] = roots
+	return nil
+}
+
+// shardClusterStage is the barrier between the two fan-outs: it merges
+// the per-shard clusterings into the global dense clustering (identical
+// numbering to a sequential resolve), names entities, partitions claims
+// by owning shard, and runs the one stage of fusion that is inherently
+// global — TruthFinder's trust fixpoint over the full claim set.
+func (w *Wrangler) shardClusterStage(sr *shardRun) error {
+	if sr.empty {
+		return nil
+	}
+	clusters, err := sr.plan.MergeRoots(sr.roots)
+	if err != nil {
+		return err
+	}
+	w.clusters = clusters
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindCluster, ID: "union"}, "er.Resolve", w.mappingRefs(w.selectedIDs()), "")
+	w.entityIDs = w.entityNames()
+	// An entity's claims fuse in its owning shard: the shard of its first
+	// union row. Clusters never span shards, but two clusters in
+	// different shards can share a most-frequent key and hence an entity
+	// name — the sequential tail fuses their claims together, so the
+	// first-row owner takes all of them (rows are only read, so a shard
+	// may read rows it does not own).
+	entityShard := make(map[string]int, clusters.Num)
+	for i, e := range w.entityIDs {
+		if _, ok := entityShard[e]; !ok {
+			entityShard[e] = sr.plan.RowShard[i]
+		}
+	}
+	// Kept on the wrangler: a later fuse-only reaction (fuseTail) reuses
+	// this routing, since trust changes never move an entity's shard.
+	w.entityShard = entityShard
+	claims := w.buildClaims()
+	sr.opts = fusion.EstimateTrust(claims, w.fusionOptions())
+	for _, c := range claims {
+		s := entityShard[c.Entity]
+		sr.claims[s] = append(sr.claims[s], c)
+	}
+	return nil
+}
+
+// shardFuseStage fuses one shard's claims under the globally estimated
+// trust and materialises the shard's page. Claim partitioning preserved
+// row order, so every (entity, attribute) group sees its claims in the
+// exact order the sequential fuse would — bucket representatives and
+// vote accumulation match bit for bit.
+func (w *Wrangler) shardFuseStage(sr *shardRun, i int) {
+	if sr.empty {
+		return
+	}
+	results := fusion.FuseResolved(sr.claims[i], sr.opts)
+	entities, rows := materialize(results, w.Config.Target)
+	sr.pages[i] = &shardPage{entities: entities, rows: rows, results: results}
+}
+
+// shardMergeStage merges the shard outputs: results in global sorted
+// order, pages reconciled against the previous integration (a shard
+// whose fused rows are unchanged keeps its predecessor's records — the
+// delta the publisher shares between versions), and the wrangled table
+// assembled from page records without copying.
+func (w *Wrangler) shardMergeStage(sr *shardRun) error {
+	if sr.empty {
+		return nil
+	}
+	parts := make([][]fusion.Result, len(sr.pages))
+	for i, p := range sr.pages {
+		parts[i] = p.results
+	}
+	w.results = fusion.MergeResults(parts...)
+	w.supporters = nil
+	w.trust = sr.opts.Trust
+
+	// Delta reconciliation: adopt the previous page's records wherever
+	// the shard fused to identical rows. Results stay fresh (confidences
+	// and trust may drift even when every winning value held), so only
+	// the record storage — what publication would otherwise deep-copy —
+	// is shared.
+	for i := range sr.pages {
+		if i < len(w.pages) && sr.pages[i].rowsEqual(w.pages[i]) {
+			sr.pages[i].entities = w.pages[i].entities
+			sr.pages[i].rows = w.pages[i].rows
+		}
+	}
+	w.pages = sr.pages
+
+	// Stable merge: entities are disjoint across shards, so sorting the
+	// concatenation by entity reproduces the sequential table's row order
+	// regardless of shard count or finish order.
+	type entityRow struct {
+		entity string
+		row    dataset.Record
+	}
+	var all []entityRow
+	for _, p := range sr.pages {
+		for j, e := range p.entities {
+			all = append(all, entityRow{entity: e, row: p.rows[j]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].entity < all[b].entity })
+	out := dataset.NewTable(w.Config.Target.Clone())
+	for _, e := range all {
+		out.Append(e.row)
+	}
+	w.wrangled = out
+	w.LastStats.RowsWrangled = out.Len()
+	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
+		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, sr.opts.Policy.String())
+	return nil
+}
+
+// rowKey is THE "source#idxInSource" row identifier format — feedback
+// addressing (RowKey, rowKeyIndex) and shard routing (rowKeys) must
+// agree on it, so it exists exactly once.
+func rowKey(src string, idxInSource int) string {
+	return fmt.Sprintf("%s#%d", src, idxInSource)
+}
+
+// rowKeys returns the stable feedback key of every union row — the
+// identifiers shard routing hashes, so a component keeps its shard
+// across reactions that only touch other sources.
+func (w *Wrangler) rowKeys() []string {
+	counts := map[string]int{}
+	out := make([]string, len(w.unionSources))
+	for i, src := range w.unionSources {
+		out[i] = rowKey(src, counts[src])
+		counts[src]++
+	}
+	return out
+}
+
+// SharedRecords reports how many of cur's records are shared with prev
+// by pointer identity — observability for the delta publication path: a
+// version published after a one-shard reaction shares every untouched
+// shard's records with its predecessor.
+func SharedRecords(prev, cur *dataset.Table) int {
+	if prev == nil || cur == nil {
+		return 0
+	}
+	seen := make(map[*dataset.Value]bool, prev.Len())
+	for i := 0; i < prev.Len(); i++ {
+		r := prev.Row(i)
+		if len(r) > 0 {
+			seen[&r[0]] = true
+		}
+	}
+	shared := 0
+	for i := 0; i < cur.Len(); i++ {
+		r := cur.Row(i)
+		if len(r) > 0 && seen[&r[0]] {
+			shared++
+		}
+	}
+	return shared
+}

@@ -49,6 +49,29 @@ func (g *Graph) Add(id string, run func(ctx context.Context) error, deps ...stri
 // Len returns the number of registered tasks.
 func (g *Graph) Len() int { return len(g.tasks) }
 
+// AddFanOut registers n tasks "prefix[000]".."prefix[n-1]" sharing the
+// same dependencies, each running run with its index — the shape of a
+// sharded stage whose outputs a later barrier task (depending on the
+// returned ids) merges. Indices are zero-padded so task ids sort in
+// fan-out order.
+func (g *Graph) AddFanOut(prefix string, n int, run func(ctx context.Context, i int) error, deps ...string) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: fan-out %q needs at least one task, got %d", prefix, n)
+	}
+	if run == nil {
+		return nil, fmt.Errorf("engine: fan-out %q has nil run", prefix)
+	}
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ids[i] = fmt.Sprintf("%s[%03d]", prefix, i)
+		if err := g.Add(ids[i], func(ctx context.Context) error { return run(ctx, i) }, deps...); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
 // Timings returns the wall-clock duration of every task that completed
 // during Run, keyed by task ID. Tasks never dispatched (after a failure
 // or cancellation) are absent. The map is owned by the graph and must

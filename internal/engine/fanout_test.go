@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAddFanOut wires a plan → fan-out → barrier shape (the sharded
+// integration stage) and checks every index ran exactly once before the
+// barrier.
+func TestAddFanOut(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add("plan", func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran [8]atomic.Int32
+	ids, err := g.AddFanOut("shard", 8, func(_ context.Context, i int) error {
+		ran[i].Add(1)
+		return nil
+	}, "plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 8 || ids[0] != "shard[000]" || ids[7] != "shard[007]" {
+		t.Fatalf("ids = %v", ids)
+	}
+	barrier := false
+	if err := g.Add("merge", func(context.Context) error {
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Errorf("shard %d ran %d times before the barrier", i, ran[i].Load())
+			}
+		}
+		barrier = true
+		return nil
+	}, ids...); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if !barrier {
+		t.Fatal("barrier never ran")
+	}
+}
+
+// TestAddFanOutValidation rejects empty fan-outs and nil run functions.
+func TestAddFanOutValidation(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddFanOut("s", 0, func(context.Context, int) error { return nil }); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+	if _, err := g.AddFanOut("s", 2, nil); err == nil {
+		t.Error("nil run should be rejected")
+	}
+	if _, err := g.AddFanOut("s", 2, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("valid fan-out rejected: %v", err)
+	}
+	// Duplicate prefix collides with the already-registered ids.
+	if _, err := g.AddFanOut("s", 2, func(context.Context, int) error { return nil }); err == nil {
+		t.Error("duplicate fan-out ids should be rejected")
+	}
+}

@@ -2,7 +2,6 @@ package er
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dataset"
 )
@@ -14,6 +13,11 @@ import (
 // through transitivity). Must-links are applied first; a must-link that
 // directly contradicts a cannot-link wins and the contradiction is
 // reported in conflicts.
+// The clustering core (constraint ordering, scored-pair descent, the
+// union-find itself) lives in resolveRows (shard.go), shared verbatim
+// with the sharded path — one implementation is what keeps "sharded is
+// byte-identical to sequential" from being two implementations agreeing
+// by luck.
 func (r *Resolver) ResolveConstrained(t *dataset.Table, must, cannot []Pair) (*Clustering, int, error) {
 	if t.Len() == 0 {
 		return &Clustering{}, 0, nil
@@ -21,109 +25,16 @@ func (r *Resolver) ResolveConstrained(t *dataset.Table, must, cannot []Pair) (*C
 	if r.NameColumn == "" && r.KeyColumn == "" {
 		return nil, 0, fmt.Errorf("er: resolver needs at least a key or name column")
 	}
-	parent := make([]int, t.Len())
-	for i := range parent {
-		parent[i] = i
+	rows := make([]int, t.Len())
+	for i := range rows {
+		rows[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	// forbidden[root] = set of roots this component must not join.
-	forbidden := map[int]map[int]bool{}
-	addForbidden := func(a, b int) {
-		if forbidden[a] == nil {
-			forbidden[a] = map[int]bool{}
-		}
-		forbidden[a][b] = true
-		if forbidden[b] == nil {
-			forbidden[b] = map[int]bool{}
-		}
-		forbidden[b][a] = true
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra == rb {
-			return
-		}
-		// Merge the smaller forbidden set into the larger's root.
-		if len(forbidden[ra]) > len(forbidden[rb]) {
-			ra, rb = rb, ra
-		}
-		parent[ra] = rb
-		for f := range forbidden[ra] {
-			addForbidden(rb, f)
-		}
-		delete(forbidden, ra)
-	}
-	allowed := func(a, b int) bool {
-		ra, rb := find(a), find(b)
-		if ra == rb {
-			return true
-		}
-		return !forbidden[ra][rb]
-	}
-
-	conflicts := 0
-	// 1. Must-links are facts: apply unconditionally, count contradictions.
-	for _, p := range must {
-		if !validPair(p, t.Len()) {
-			continue
-		}
-		if !allowed(p.I, p.J) {
-			conflicts++
-		}
-		union(p.I, p.J)
-	}
-	// 2. Cannot-links between the resulting components.
-	for _, p := range cannot {
-		if !validPair(p, t.Len()) {
-			continue
-		}
-		ra, rb := find(p.I), find(p.J)
-		if ra == rb {
-			conflicts++ // already forced together by must-links
-			continue
-		}
-		addForbidden(ra, rb)
-	}
-	// 3. Scored pairs, best first, blocked by constraints. Descending
-	// order matters: the strongest evidence claims components before a
-	// weaker pair could route around a cannot-link.
-	type scoredPair struct {
-		p Pair
-		s float64
-	}
-	var scored []scoredPair
-	for _, p := range r.CandidatePairs(t) {
-		s := r.Score(r.Features(t, p.I, p.J))
-		if s >= r.Threshold {
-			scored = append(scored, scoredPair{p: p, s: s})
-		}
-	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].s != scored[j].s {
-			return scored[i].s > scored[j].s
-		}
-		if scored[i].p.I != scored[j].p.I {
-			return scored[i].p.I < scored[j].p.I
-		}
-		return scored[i].p.J < scored[j].p.J
-	})
-	for _, sp := range scored {
-		if allowed(sp.p.I, sp.p.J) {
-			union(sp.p.I, sp.p.J)
-		}
-	}
-	// Dense cluster ids.
+	roots, conflicts := r.resolveRows(t, rows, r.CandidatePairs(t), must, cannot)
+	// Dense cluster ids by first appearance in row order.
 	ids := map[int]int{}
 	assign := make([]int, t.Len())
 	for i := range assign {
-		root := find(i)
+		root := roots[i]
 		id, ok := ids[root]
 		if !ok {
 			id = len(ids)

@@ -1,0 +1,255 @@
+package er
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func shardTable(names ...string) *dataset.Table {
+	t := dataset.NewTable(dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+	))
+	for i, n := range names {
+		t.AppendValues(dataset.String(fmt.Sprintf("S%03d", i)), dataset.String(n))
+	}
+	return t
+}
+
+// TestBlockingEdgeCases is the table-driven sweep over the blocking
+// shapes shard planning has to survive: oversized blocks are skipped
+// (their rows stay singleton components instead of one mega-shard, and —
+// critically — never regain pairs inside a shard that the sequential
+// blocking skipped), blocks at the size limit still pair, empty and
+// single-row inputs plan cleanly, and must-links glue otherwise
+// unconnected components.
+func TestBlockingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		rows         []string
+		maxBlock     int
+		must         []Pair
+		wantPairs    int // expected candidate pair count
+		wantComps    int // expected block-connected components
+		shardsToTry  []int
+		wantSameComp [][2]int // row pairs that must share a shard
+		wantDiffComp [][2]int // row pairs that must be in singleton-free, separate components
+	}{
+		{
+			name:        "oversized block skipped",
+			rows:        []string{"widget aaaa", "widget bbbb", "widget cccc", "widget dddd"},
+			maxBlock:    3, // the shared "widget" grams put all 4 rows in one block > max
+			wantPairs:   0,
+			wantComps:   4,
+			shardsToTry: []int{1, 2, 4, 8},
+		},
+		{
+			name:         "block at the limit still pairs",
+			rows:         []string{"gizmo red", "gizmo blue", "gizmo green"},
+			maxBlock:     3,
+			wantPairs:    3, // all three pairs via the "gizmo" grams
+			wantComps:    1,
+			shardsToTry:  []int{1, 2, 4},
+			wantSameComp: [][2]int{{0, 1}, {1, 2}},
+		},
+		{
+			name:         "disjoint names split components",
+			rows:         []string{"alpha lamp", "alpha light", "bravo kettle", "bravo kettles"},
+			maxBlock:     60,
+			wantComps:    2,
+			wantPairs:    2,
+			shardsToTry:  []int{1, 2, 4, 8},
+			wantSameComp: [][2]int{{0, 1}, {2, 3}},
+			wantDiffComp: [][2]int{{0, 2}},
+		},
+		{
+			name:         "must-link glues unconnected components",
+			rows:         []string{"alpha lamp", "zulu heater"},
+			maxBlock:     60,
+			must:         []Pair{{I: 0, J: 1}},
+			wantComps:    1,
+			wantPairs:    0,
+			shardsToTry:  []int{1, 2, 4},
+			wantSameComp: [][2]int{{0, 1}},
+		},
+		{
+			name:        "single row",
+			rows:        []string{"lonely product"},
+			maxBlock:    60,
+			wantComps:   1,
+			wantPairs:   0,
+			shardsToTry: []int{1, 2, 8},
+		},
+		{
+			name:        "empty table",
+			rows:        nil,
+			maxBlock:    60,
+			wantComps:   0,
+			wantPairs:   0,
+			shardsToTry: []int{1, 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := shardTable(tc.rows...)
+			r := NewResolver("", "name", "", "")
+			r.MaxBlockSize = tc.maxBlock
+			if got := len(r.CandidatePairs(tab)); got != tc.wantPairs {
+				t.Errorf("candidate pairs = %d, want %d", got, tc.wantPairs)
+			}
+			for _, n := range tc.shardsToTry {
+				plan, err := r.PlanShards(tab, n, tc.must, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan.Components != tc.wantComps {
+					t.Errorf("shards=%d: components = %d, want %d", n, plan.Components, tc.wantComps)
+				}
+				if plan.NumShards != n || len(plan.Rows) != n || len(plan.Pairs) != n {
+					t.Fatalf("shards=%d: malformed plan dims", n)
+				}
+				// Every row is owned by exactly one shard.
+				counted := 0
+				for s, rows := range plan.Rows {
+					for _, row := range rows {
+						if plan.RowShard[row] != s {
+							t.Errorf("shards=%d: row %d listed in shard %d but RowShard says %d", n, row, s, plan.RowShard[row])
+						}
+						counted++
+					}
+				}
+				if counted != tab.Len() {
+					t.Errorf("shards=%d: %d rows assigned, table has %d", n, counted, tab.Len())
+				}
+				// No candidate pair may cross shards — cross-shard blocks do
+				// not exist, their components were routed whole to one owner.
+				for s, pairs := range plan.Pairs {
+					for _, p := range pairs {
+						if plan.RowShard[p.I] != s || plan.RowShard[p.J] != s {
+							t.Errorf("shards=%d: pair %v leaked out of shard %d", n, p, s)
+						}
+					}
+				}
+				for _, pr := range tc.wantSameComp {
+					if plan.RowShard[pr[0]] != plan.RowShard[pr[1]] {
+						t.Errorf("shards=%d: rows %d and %d should share a shard", n, pr[0], pr[1])
+					}
+				}
+				// Resolving the plan must agree with the sequential resolve,
+				// empty and single-row shards included.
+				seq, _, err := r.ResolveConstrained(tab, tc.must, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				roots := make([]map[int]int, n)
+				for i := 0; i < n; i++ {
+					roots[i], _, err = r.ResolveShard(tab, plan, i, tc.must, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				merged, err := plan.MergeRoots(roots)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if merged.Num != seq.Num {
+					t.Errorf("shards=%d: merged %d clusters, sequential %d", n, merged.Num, seq.Num)
+				}
+				for i := range merged.Assign {
+					if merged.Assign[i] != seq.Assign[i] {
+						t.Errorf("shards=%d: row %d cluster %d, sequential %d", n, i, merged.Assign[i], seq.Assign[i])
+					}
+				}
+			}
+			// Different-component expectations hold for the component
+			// structure itself (plan with as many shards as rows makes the
+			// check meaningful: distinct components only share a shard by
+			// hash collision, so check components via a 1-shard plan's pair
+			// partition instead of shard ids).
+			if len(tc.wantDiffComp) > 0 {
+				plan, err := r.PlanShards(tab, tab.Len(), tc.must, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = plan
+				for _, pr := range tc.wantDiffComp {
+					// Two rows in different components never appear in one
+					// candidate pair chain; verify via sequential clusters of
+					// a threshold-0 resolver (everything blocked together
+					// merges).
+					loose := NewResolver("", "name", "", "")
+					loose.MaxBlockSize = tc.maxBlock
+					loose.Threshold = 0
+					c, _, err := loose.ResolveConstrained(tab, tc.must, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if c.Assign[pr[0]] == c.Assign[pr[1]] {
+						t.Errorf("rows %d and %d unexpectedly block-connected", pr[0], pr[1])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanShardsOwnerStability pins the delta-publication prerequisite:
+// with stable row keys, a component's shard assignment depends only on
+// its own smallest key — rows shifting elsewhere in the table must not
+// reshuffle it.
+func TestPlanShardsOwnerStability(t *testing.T) {
+	r := NewResolver("", "name", "", "")
+	tab1 := shardTable("alpha lamp", "alpha light", "bravo kettle")
+	keys1 := []string{"s1#0", "s1#1", "s2#0"}
+	tab2 := shardTable("prefix thing", "alpha lamp", "alpha light", "bravo kettle")
+	keys2 := []string{"s0#0", "s1#0", "s1#1", "s2#0"}
+	for _, n := range []int{2, 4, 8} {
+		p1, err := r.PlanShards(tab1, n, nil, keys1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := r.PlanShards(tab2, n, nil, keys2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.RowShard[0] != p2.RowShard[1] || p1.RowShard[2] != p2.RowShard[3] {
+			t.Errorf("shards=%d: stable keys did not keep components on their shards: %v vs %v",
+				n, p1.RowShard, p2.RowShard)
+		}
+	}
+}
+
+// TestPlanShardsRejectsColumnlessResolver pins failure parity: a
+// resolver with neither key nor name column fails planning with the
+// same error the sequential ResolveConstrained reports, so a sharded
+// session cannot silently succeed where a sequential one errors.
+func TestPlanShardsRejectsColumnlessResolver(t *testing.T) {
+	r := NewResolver("", "", "", "")
+	tab := shardTable("alpha lamp")
+	_, planErr := r.PlanShards(tab, 2, nil, nil)
+	if planErr == nil {
+		t.Fatal("PlanShards accepted a resolver without key or name column")
+	}
+	_, _, seqErr := r.ResolveConstrained(tab, nil, nil)
+	if seqErr == nil || planErr.Error() != seqErr.Error() {
+		t.Errorf("error parity broken: plan=%q sequential=%q", planErr, seqErr)
+	}
+}
+
+// TestResolveShardRange rejects out-of-range shard indices.
+func TestResolveShardRange(t *testing.T) {
+	r := NewResolver("", "name", "", "")
+	tab := shardTable("alpha lamp")
+	plan, err := r.PlanShards(tab, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ResolveShard(tab, plan, 2, nil, nil); err == nil {
+		t.Error("shard index 2 of 2 should error")
+	}
+	if _, _, err := r.ResolveShard(tab, plan, -1, nil, nil); err == nil {
+		t.Error("negative shard index should error")
+	}
+}

@@ -105,21 +105,29 @@ type Result struct {
 	Conflict   bool    // more than one distinct value bucket was claimed
 }
 
-// Fuse resolves all claims into one result per (entity, attribute).
-// Results are sorted by entity then attribute for determinism.
-func Fuse(claims []Claim, opts Options) []Result {
-	if opts.DefaultTrust <= 0 {
-		opts.DefaultTrust = 0.8
+// normalized fills option defaults so every entry point applies the same
+// policy regardless of which half of the fuse pipeline it drives.
+func (o Options) normalized() Options {
+	if o.DefaultTrust <= 0 {
+		o.DefaultTrust = 0.8
 	}
-	if opts.Iterations <= 0 {
-		opts.Iterations = 10
+	if o.Iterations <= 0 {
+		o.Iterations = 10
 	}
-	if opts.NumericTolerance <= 0 {
-		opts.NumericTolerance = 0.01
+	if o.NumericTolerance <= 0 {
+		o.NumericTolerance = 0.01
 	}
-	if opts.Trust == nil {
-		opts.Trust = map[string]float64{}
+	if o.Trust == nil {
+		o.Trust = map[string]float64{}
 	}
+	return o
+}
+
+// groupClaims partitions claims by (entity, attribute), preserving claim
+// order within each group, and returns the sorted group keys. Group order
+// and in-group claim order are both part of fusion's determinism
+// contract: bucket representatives and float accumulation follow them.
+func groupClaims(claims []Claim) (map[string][]Claim, []string) {
 	groups := map[string][]Claim{}
 	var keys []string
 	for _, c := range claims {
@@ -130,15 +138,93 @@ func Fuse(claims []Claim, opts Options) []Result {
 		groups[k] = append(groups[k], c)
 	}
 	sort.Strings(keys)
+	return groups, keys
+}
 
+// Fuse resolves all claims into one result per (entity, attribute).
+// Results are sorted by entity then attribute for determinism.
+func Fuse(claims []Claim, opts Options) []Result {
+	opts = opts.normalized()
+	groups, keys := groupClaims(claims)
 	if opts.Policy == TruthFinder {
-		estimateTrust(groups, &opts)
+		estimateTrust(groups, keys, &opts)
 	}
 	out := make([]Result, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, fuseGroup(groups[k], opts))
 	}
 	return out
+}
+
+// EstimateTrust runs the global half of fusion — the TruthFinder trust
+// fixpoint over the full claim set — and returns options with the
+// estimated per-source trust filled in (for other policies it only fills
+// defaults). The returned options are ready for FuseResolved over any
+// partition of the same claims: trust estimation is the only stage of
+// fusion that couples (entity, attribute) groups to each other, so once
+// it has run, disjoint claim subsets fuse independently.
+func EstimateTrust(claims []Claim, opts Options) Options {
+	opts = opts.normalized()
+	if opts.Policy == TruthFinder {
+		groups, keys := groupClaims(claims)
+		estimateTrust(groups, keys, &opts)
+	}
+	return opts
+}
+
+// FuseResolved fuses claims taking source trust as given: no fixpoint
+// runs, every (entity, attribute) group is fused independently under
+// opts.Trust. Fusing a partition of a claim set shard by shard and
+// merging (MergeResults) yields byte-identical results to one Fuse call
+// over the whole set with the same trust — the property the sharded
+// integration tail is built on. FuseResolved never mutates opts.Trust,
+// so concurrent calls may share one options value.
+func FuseResolved(claims []Claim, opts Options) []Result {
+	opts = opts.normalized()
+	groups, keys := groupClaims(claims)
+	out := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fuseGroup(groups[k], opts))
+	}
+	return out
+}
+
+// MergeResults merges per-shard result slices (each sorted, with disjoint
+// (entity, attribute) sets) into the single sorted order Fuse produces.
+// The merge is stable under any permutation of parts — shard or provider
+// order cannot leak into the output.
+func MergeResults(parts ...[]Result) []Result {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Result, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	// Sorting by the same "\x1f"-joined key Fuse sorts group keys by keeps
+	// the merged order byte-identical to an unsharded fuse (a plain
+	// entity-then-attribute tuple compare is not equivalent in general).
+	// Keys are built once per result, not per comparison.
+	keys := make([]string, len(out))
+	for i, r := range out {
+		keys[i] = r.Entity + "\x1f" + r.Attribute
+	}
+	sort.Sort(&keyedResults{keys: keys, results: out})
+	return out
+}
+
+// keyedResults sorts results and their precomputed keys together.
+type keyedResults struct {
+	keys    []string
+	results []Result
+}
+
+func (k *keyedResults) Len() int           { return len(k.keys) }
+func (k *keyedResults) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedResults) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.results[i], k.results[j] = k.results[j], k.results[i]
 }
 
 // bucket groups equivalent claimed values.
@@ -278,10 +364,13 @@ func trustOf(sourceID string, opts Options) float64 {
 // estimateTrust runs the TruthFinder-style fixpoint: value confidence is
 // the trust-weighted vote share; source trust is the mean confidence of
 // the values the source claims. Trust is written back into opts.Trust.
-func estimateTrust(groups map[string][]Claim, opts *Options) {
+// Groups are visited in sorted key order — float accumulation is not
+// associative, so iterating the map directly would make trust (and with
+// it confidences and tie-broken winners) vary run to run.
+func estimateTrust(groups map[string][]Claim, keys []string, opts *Options) {
 	// Initialise all sources.
-	for _, claims := range groups {
-		for _, c := range claims {
+	for _, k := range keys {
+		for _, c := range groups[k] {
 			if _, ok := opts.Trust[c.SourceID]; !ok {
 				opts.Trust[c.SourceID] = opts.DefaultTrust
 			}
@@ -290,7 +379,8 @@ func estimateTrust(groups map[string][]Claim, opts *Options) {
 	for iter := 0; iter < opts.Iterations; iter++ {
 		sums := map[string]float64{}
 		counts := map[string]int{}
-		for _, claims := range groups {
+		for _, k := range keys {
+			claims := groups[k]
 			buckets := bucketize(claims, *opts, func(c Claim) float64 { return trustOf(c.SourceID, *opts) })
 			total := 0.0
 			for _, b := range buckets {
@@ -312,13 +402,20 @@ func estimateTrust(groups map[string][]Claim, opts *Options) {
 				}
 			}
 		}
+		// Sorted source order: delta's accumulation decides the early
+		// break below, so it must not depend on map iteration order.
+		srcs := make([]string, 0, len(sums))
+		for src := range sums {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
 		delta := 0.0
-		for src, sum := range sums {
+		for _, src := range srcs {
 			if counts[src] == 0 || opts.Pinned[src] {
 				continue
 			}
 			// Damped update keeps the fixpoint stable.
-			next := 0.5*opts.Trust[src] + 0.5*(sum/float64(counts[src]))
+			next := 0.5*opts.Trust[src] + 0.5*(sums[src]/float64(counts[src]))
 			delta += math.Abs(next - opts.Trust[src])
 			opts.Trust[src] = next
 		}

@@ -190,6 +190,31 @@ func (g *Graph) Sources(of Ref) []Ref {
 	return out
 }
 
+// Dump renders every derivation record — artefact, component, inputs,
+// step and note — one line each, sorted by artefact ref. The rendering
+// is stable: two graphs that recorded the same derivations in the same
+// order dump identically, which is what the determinism harness uses to
+// assert that a sharded integration derives exactly what a sequential
+// one does.
+func (g *Graph) Dump() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set := make(map[Ref]bool, len(g.records))
+	for r := range g.records {
+		set[r] = true
+	}
+	var b strings.Builder
+	for _, r := range sortRefs(set) {
+		rec := g.records[r]
+		ins := make([]string, len(rec.Inputs))
+		for i, in := range rec.Inputs {
+			ins[i] = in.String()
+		}
+		fmt.Fprintf(&b, "%s ← %s(%s) @%d %s\n", r, rec.Component, strings.Join(ins, ", "), rec.Step, rec.Note)
+	}
+	return b.String()
+}
+
 // Describe renders a one-line lineage summary for diagnostics.
 func (g *Graph) Describe(of Ref) string {
 	rec := g.Get(of)

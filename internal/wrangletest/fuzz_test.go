@@ -1,0 +1,31 @@
+package wrangletest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzShardedResolveMatchesSequential fuzzes the er-layer equivalence:
+// every input derives a random table, random must/cannot constraints and
+// a shard count, and the sharded plan/resolve/merge must reproduce the
+// sequential constrained clustering exactly. The seed corpus covers the
+// shard counts the property tests sweep; the fuzzer then mutates its way
+// into table shapes and constraint sets we did not think of. CI runs it
+// as a short smoke (-fuzz=FuzzSharded -fuzztime=10s); the corpus also
+// executes as ordinary seed cases under plain `go test`.
+func FuzzShardedResolveMatchesSequential(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(40))
+	f.Add(int64(7), uint8(1), uint8(3))
+	f.Add(int64(23), uint8(8), uint8(120))
+	f.Add(int64(-5), uint8(4), uint8(77))
+	f.Fuzz(func(t *testing.T, seed int64, shards, rows uint8) {
+		n := int(shards)%8 + 1
+		nRows := 1 + int(rows)%160
+		rng := rand.New(rand.NewSource(seed))
+		tab := RandomTable(rng, nRows)
+		must, cannot := RandomConstraints(rng, tab.Len())
+		if err := CheckShardedResolve(tab, n, must, cannot); err != nil {
+			t.Fatalf("seed=%d shards=%d rows=%d: %v", seed, n, nRows, err)
+		}
+	})
+}

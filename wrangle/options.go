@@ -39,6 +39,8 @@ type settings struct {
 
 	parallelism int
 
+	integrationShards int
+
 	retainVersions int
 
 	seed         int64
@@ -187,6 +189,28 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("parallelism must be at least 1, got %d", n)
 		}
 		s.parallelism = n
+		return nil
+	}
+}
+
+// WithIntegrationShards splits the integration tail — entity resolution
+// and fusion over the union of all selected sources — into n disjoint
+// blocking shards that run as parallel engine tasks and merge
+// deterministically. Results are byte-identical to the sequential tail
+// at every shard count; only the speed and the publication cost change:
+// sharded sessions publish snapshot deltas, so a reaction that leaves a
+// shard's fused rows untouched shares that shard's table records with
+// the predecessor version instead of deep-copying them. n must be at
+// least 1 (1 exercises the sharded machinery and delta publication with
+// a single shard); by default the tail is sequential. Useful shard
+// counts track the worker bound (WithParallelism) — more shards than
+// workers only adds merge bookkeeping.
+func WithIntegrationShards(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("integration shards must be at least 1, got %d", n)
+		}
+		s.integrationShards = n
 		return nil
 	}
 }

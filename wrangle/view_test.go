@@ -196,16 +196,26 @@ func TestWrangledImmutableAcrossReactions(t *testing.T) {
 // reactions churn the session. Under -race this proves the read path is
 // data-race free; the assertions prove every observed version is
 // internally consistent (table, stats, report and source snapshot all
-// from the same commit) and that versions never run backwards. Readers
-// never touch the session lock, so they keep completing reads while
-// reactions are in flight.
+// from the same commit) and that versions and provenance steps never run
+// backwards. Readers never touch the session lock, so they keep
+// completing reads while reactions are in flight. The sharded subtest
+// runs the same workload against the sharded integration tail, whose
+// per-shard delta publishes alias record storage across versions — the
+// race detector proving no reaction ever writes through a shared page.
 func TestConcurrentViewReaders(t *testing.T) {
-	s := mustRun(t,
+	t.Run("sequential", func(t *testing.T) { runConcurrentViewReaders(t) })
+	t.Run("sharded", func(t *testing.T) {
+		runConcurrentViewReaders(t, wrangle.WithIntegrationShards(4))
+	})
+}
+
+func runConcurrentViewReaders(t *testing.T, extra ...wrangle.Option) {
+	s := mustRun(t, append([]wrangle.Option{
 		wrangle.WithSeed(7),
 		wrangle.WithSyntheticSources(6),
 		wrangle.WithParallelism(2),
 		wrangle.WithRetainVersions(3),
-	)
+	}, extra...)...)
 	first, err := s.View()
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +231,7 @@ func TestConcurrentViewReaders(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lastVersion := uint64(0)
+			lastVersion, lastStep := uint64(0), uint64(0)
 			for {
 				select {
 				case <-writerDone:
@@ -237,7 +247,11 @@ func TestConcurrentViewReaders(t *testing.T) {
 					t.Errorf("version ran backwards: %d after %d", v.Version(), lastVersion)
 					return
 				}
-				lastVersion = v.Version()
+				if v.Step() < lastStep {
+					t.Errorf("provenance step ran backwards: %d after %d", v.Step(), lastStep)
+					return
+				}
+				lastVersion, lastStep = v.Version(), v.Step()
 
 				// Internal consistency of the pinned version: the stats,
 				// table, report and source snapshot must all describe the

@@ -70,7 +70,8 @@ func New(opts ...Option) (*Session, error) {
 	}
 
 	w := core.New(provider, cfg, userCtx, dataCtx)
-	w.Parallelism = s.parallelism // 0 = auto: one worker per CPU
+	w.Parallelism = s.parallelism             // 0 = auto: one worker per CPU
+	w.IntegrationShards = s.integrationShards // 0 = sequential integration tail
 	if s.retainVersions > 0 {
 		// Replaced before the first run, so no reader can hold the default
 		// store yet.
