@@ -23,18 +23,22 @@ race:
 # the engine scaling benchmark (1/2/4/8 workers over a 24-source universe)
 # as test2json events in BENCH_PR2.json, the serving-layer read
 # throughput (1/4/16 concurrent readers against a mutating session) in
-# BENCH_PR3.json, and the sharded integration tail (1/2/4/8 blocking
-# shards) plus delta-vs-full publication in BENCH_PR4.json — the
-# PR-over-PR perf trajectory. The patterns are disjoint so nothing runs
-# twice.
+# BENCH_PR3.json, the sharded integration tail (1/2/4/8 blocking
+# shards) plus delta-vs-full publication in BENCH_PR4.json, and the
+# streaming refresh (full vs dirty-shard partial tail at 1/4/8 shards)
+# plus concurrent source acquisition in BENCH_PR5.json — the PR-over-PR
+# perf trajectory. The patterns are disjoint so nothing runs twice.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
 	$(GO) test -bench=BenchmarkServeReads -benchmem -run=^$$ -json . > BENCH_PR3.json
 	$(GO) test -bench='^Benchmark(ShardedIntegration|DeltaPublish)$$' -benchmem -run=^$$ -json . > BENCH_PR4.json
+	$(GO) test -bench='^Benchmark(StreamingRefresh|ConcurrentAcquire)$$' -benchmem -run=^$$ -json . > BENCH_PR5.json
 
-# fuzz runs the sharded-resolve equivalence fuzzer briefly — the same
-# smoke CI runs. Longer local sessions: go test -fuzz=FuzzSharded
-# -fuzztime=5m ./internal/wrangletest
+# fuzz runs the equivalence fuzzers briefly — the same smokes CI runs:
+# the sharded-resolve identity and the end-to-end streaming-refresh
+# identity. Longer local sessions: go test -fuzz=FuzzSharded
+# -fuzztime=5m ./internal/wrangletest (or -fuzz=FuzzStreamingRefresh).
 fuzz:
 	$(GO) test -fuzz=FuzzSharded -fuzztime=10s -run=^$$ ./internal/wrangletest
+	$(GO) test -fuzz=FuzzStreamingRefresh -fuzztime=10s -run=^$$ ./internal/wrangletest

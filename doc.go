@@ -29,10 +29,20 @@
 // over HTTP). Sharded sessions publish versions as deltas: a reaction
 // that leaves a shard's fused rows unchanged shares that shard's
 // records with the predecessor version, making publication O(changed
-// shard). README.md holds the quickstart, CLI usage, and the
-// architecture, shard/merge and delta-version diagrams, ROADMAP.md the
-// north star and open items, and repro/wrangle/experiments the
-// paper-claim experiment index that cmd/experiments prints.
+// shard). On top of the shards, WithStreamingRefresh turns reactions
+// into partial tails: the session memoizes its last integrated tail
+// and the reaction planner (internal/core) diffs the rebuilt union
+// against it — provenance-scoped — re-resolving only dirty components
+// (cached pair scores cover the rest), warm-starting the trust
+// fixpoint and reusing untouched shards' clusters and fused pages by
+// reference, byte-identically to the full recompute; reaction cost
+// scales with the change, not the corpus. Source re-acquisition
+// overlaps on the same worker pool for providers that opt into the
+// sources.ConcurrentProvider contract. README.md holds the quickstart,
+// CLI usage, and the architecture, shard/merge, delta-version and
+// streaming dirty-set diagrams, ROADMAP.md the north star and open
+// items, and repro/wrangle/experiments the paper-claim experiment
+// index that cmd/experiments prints.
 //
 // The root package holds the benchmark suite (bench_test.go): one
 // testing.B benchmark per experiment, regenerating the tables that

@@ -117,8 +117,10 @@ type RunStats struct {
 	// engine's per-task timings: "sources" sums every per-source
 	// extract/match/map chain (parallel work — the stage total can exceed
 	// Duration when chains overlap), "select" covers the merge barrier plus
-	// selection, "integrate" the resolve/fuse tail. Published snapshot
-	// versions carry these, so a bench regression attributes to a stage.
+	// selection, "integrate" the resolve/fuse tail. Sharded tails
+	// additionally split "integrate" by DAG stage — "replan", "resolve",
+	// "trust", "fuse", "merge". Published snapshot versions carry these,
+	// so a bench regression attributes to a stage.
 	Stages map[string]time.Duration
 }
 
@@ -151,6 +153,15 @@ type Wrangler struct {
 	// additionally publish snapshot deltas — versions share the table
 	// records of every shard whose fused rows did not change.
 	IntegrationShards int
+	// StreamingRefresh (sharded sessions only) makes reactions recompute
+	// a partial integration tail: the reaction planner diffs the new
+	// union against the memoized previous one, re-plans incrementally
+	// (er.RePlan), re-resolves only dirty shards, warm-starts the trust
+	// fixpoint and re-fuses only shards whose claims or trust moved —
+	// reusing every untouched shard's clusters and fused page by
+	// reference. Output stays byte-identical to the full-tail recompute;
+	// only the cost scales with the change instead of the corpus.
+	StreamingRefresh bool
 
 	states       map[string]*sourceState
 	resolver     *er.Resolver
@@ -164,6 +175,9 @@ type Wrangler struct {
 	trust        map[string]float64
 	pages        []*shardPage   // sharded tail only: per-shard fused output, immutable once built
 	entityShard  map[string]int // sharded tail only: entity -> owning shard of the last integration
+	repairedRows []int          // union rows FD repair touched in the last buildUnion
+	memo         *tailMemo      // streaming sessions: the last integrated tail, diffable
+	dirtySources map[string]bool // sources whose state changed since the memoized tail
 	lastSeq      int
 	LastStats    RunStats
 }
@@ -236,10 +250,15 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	}, deps...); err != nil {
 		return nil, err
 	}
-	if err := w.addIntegrationTasks(g, "select"); err != nil {
+	// A run always recomputes the full tail; streaming sessions record a
+	// fresh tail memo at the merge so the next reaction can stream.
+	if err := w.addIntegrationTasks(g, &shardRun{}, "select"); err != nil {
 		return nil, err
 	}
 	if err := g.Run(ctx, w.workers()); err != nil {
+		// The tail may have stopped between stages; the memoized state no
+		// longer describes one coherent integration.
+		w.memo = nil
 		return nil, err
 	}
 	w.LastStats.Stages = stageTimings(g.Timings())
@@ -249,19 +268,36 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 }
 
 // stageTimings folds the engine's per-task wall clock into per-stage
-// attribution: every "source[...]" task accrues to "sources", the
-// integration tail's tasks — sequential ("integrate") or sharded
-// ("integrate:*", "resolve[...]", "fuse[...]") — accrue to "integrate",
-// and the named barrier tasks keep their own key.
+// attribution: every "source[...]" task accrues to "sources", and the
+// sharded integration tail's tasks are split by DAG stage — "replan"
+// (union build + shard planning or incremental re-plan), "resolve",
+// "trust" (cluster barrier + trust estimation), "fuse" and "merge" — so
+// published versions attribute exactly where a streaming reaction saved
+// its time. Every tail task additionally accrues to the aggregate
+// "integrate" key (which the sequential tail's single task reports
+// directly), so stage totals stay comparable across tail modes.
 func stageTimings(tasks map[string]time.Duration) map[string]time.Duration {
-	stages := make(map[string]time.Duration, 3)
+	stages := make(map[string]time.Duration, 8)
 	for id, d := range tasks {
 		switch {
 		case strings.HasPrefix(id, "source["):
 			stages["sources"] += d
-		case strings.HasPrefix(id, "integrate"),
-			strings.HasPrefix(id, "resolve["),
-			strings.HasPrefix(id, "fuse["):
+		case id == "integrate":
+			stages["integrate"] += d
+		case id == "integrate:plan":
+			stages["replan"] += d
+			stages["integrate"] += d
+		case id == "integrate:cluster":
+			stages["trust"] += d
+			stages["integrate"] += d
+		case id == "integrate:merge":
+			stages["merge"] += d
+			stages["integrate"] += d
+		case strings.HasPrefix(id, "resolve["):
+			stages["resolve"] += d
+			stages["integrate"] += d
+		case strings.HasPrefix(id, "fuse["):
+			stages["fuse"] += d
 			stages["integrate"] += d
 		default:
 			stages[id] += d
@@ -443,6 +479,19 @@ func (w *Wrangler) installOutcome(o *sourceOutcome) error {
 		return o.err
 	}
 	w.states[o.id] = o.st
+	// The source's working data diverged from the last integrated tail;
+	// the streaming planner scopes its dirty-row diff to these sources
+	// (cleared when a full tail commits a fresh memo). Accumulating here —
+	// not per reaction — keeps the scope sound even when a reaction
+	// installs some sources and then aborts before its tail. Only
+	// streaming sessions read the set; enabling streaming mid-session is
+	// still safe because it starts with no memo and therefore a full tail.
+	if w.StreamingRefresh {
+		if w.dirtySources == nil {
+			w.dirtySources = map[string]bool{}
+		}
+		w.dirtySources[o.id] = true
+	}
 	return nil
 }
 
@@ -603,15 +652,22 @@ func (w *Wrangler) buildUnion() (empty bool, err error) {
 		w.supporters = nil
 		w.pages = nil
 		w.entityShard = nil
+		w.memo = nil // nothing integrated: nothing for a streaming tail to diff against
 		return true, nil
 	}
 	// Profile the integrated data for near-exact functional dependencies
 	// (e.g. sku -> brand) and repair their violations — typos introduced
 	// by individual sources are outvoted by their own key group before
 	// entity resolution sees them (cost-based repair, quality package).
-	if _, _, err := quality.ProfileAndRepair(w.union, 0.9); err != nil {
+	// The repaired row indices are kept: FD repair is the one stage that
+	// can rewrite a row whose source did not change, so the streaming
+	// diff must compare exactly these rows (and the previous round's) on
+	// top of the provenance-scoped ones.
+	_, _, repaired, err := quality.ProfileAndRepairRows(w.union, 0.9)
+	if err != nil {
 		return false, fmt.Errorf("core: profile repair: %w", err)
 	}
+	w.repairedRows = repaired
 	w.resolver = er.NewResolver(w.Config.KeyColumn, w.Config.NameColumn, w.Config.SecondaryColumn, w.Config.NumericColumn)
 	w.applyPairFeedback()
 	return false, nil

@@ -29,10 +29,23 @@ type ReactStats struct {
 	Remapped           int
 	Reclustered        bool
 	Refused            bool
-	Duration           time.Duration
+	// ShardsResolved and ShardsReused report the dirty-shard split of a
+	// sharded integration tail: how many shards re-resolved their
+	// clusters versus reused them by reference. A streaming refresh that
+	// touched one source typically resolves one shard and reuses the
+	// rest; non-streaming sharded tails resolve all of them; sequential
+	// sessions report zeros.
+	ShardsResolved int
+	ShardsReused   int
+	Duration       time.Duration
 	// Stages attributes the reaction's wall clock: "reextract" covers the
-	// per-source re-extraction fan-out, "integrate" the recluster+refuse
-	// tail ("fuse" when only fusion reran). Absent stages did not run.
+	// per-source re-extraction fan-out and "integrate" the whole
+	// integration tail ("fuse" when only a sequential fusion reran).
+	// Sharded tails additionally split the tail by DAG stage — "replan"
+	// (union build + shard planning or incremental re-plan), "resolve",
+	// "trust" (cluster barrier + trust estimation), "fuse", "merge" — so
+	// published versions attribute exactly where a streaming reaction
+	// saved its time. Absent stages did not run.
 	Stages map[string]time.Duration
 }
 
@@ -64,22 +77,10 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 	// instead of silently dropping them.
 	last := items[len(items)-1].Seq
 
-	needRecluster := false
-	needRefuse := false
-	needReselect := false
-	reextract := map[string]bool{}
-	for _, it := range items {
-		switch it.Kind {
-		case "wrapper_broken":
-			reextract[it.SourceID] = true
-		case "duplicate", "not_duplicate":
-			needRecluster = true
-		case "value_correct", "value_incorrect":
-			needRefuse = true
-		case "source_relevant", "source_irrelevant":
-			needReselect = true
-		}
-	}
+	// The reaction planner decides the scope; this method only supplies
+	// the feedback-path policies (fatal install errors, reinduced
+	// wrappers, the lastSeq advance).
+	reextract, reselect, scope, tail := planReaction(items)
 	// Wrapper-feedback re-extractions are independent per source, so they
 	// fan out on the engine like a run's extraction stage; outcomes merge
 	// in sorted source order so the reaction stays deterministic. The
@@ -113,7 +114,7 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 		}
 		stats.SourcesReextracted++
 		stats.Remapped++
-		needRecluster = true
+		scope, tail = tailFull, true
 	}
 	if len(ids) > 0 {
 		stats.Stages["reextract"] = time.Since(exStart)
@@ -121,25 +122,16 @@ func (w *Wrangler) ReactToFeedbackContext(ctx context.Context) (ReactStats, erro
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
-	if needReselect {
+	if reselect {
 		w.selectSources()
-		needRecluster = true
+		scope, tail = tailFull, true
 	}
-	tailStart := time.Now()
-	switch {
-	case needRecluster:
-		if err := w.integrateTail(ctx); err != nil {
-			return stats, err
-		}
-		stats.Reclustered = true
-		stats.Refused = true
-		stats.Stages["integrate"] = time.Since(tailStart)
-	case needRefuse:
-		if err := w.fuseTail(ctx); err != nil {
+	if tail {
+		if err := w.runTail(ctx, scope, &stats); err != nil {
 			return stats, err
 		}
 		stats.Refused = true
-		stats.Stages["fuse"] = time.Since(tailStart)
+		stats.Reclustered = scope == tailFull
 	}
 	w.lastSeq = last
 	stats.Duration = time.Since(start)
@@ -167,16 +159,56 @@ func (w *Wrangler) RefreshSourceContext(ctx context.Context, id string) (ReactSt
 
 // computeSources re-processes the named sources through the engine:
 // acquire turns an id into a source (Lookup for reactions, Refresh for
-// churn) and runs serially — providers may mutate shared state when
-// re-acquiring — then the expensive extract/match/map chains fan out over
-// the wrangler's worker bound. reinduce discards stored wrappers (the
+// churn), then the expensive extract/match/map chains fan out over the
+// wrangler's worker bound. Acquisition is serial by default — providers
+// may mutate shared state when re-acquiring — but a provider that opts
+// into the sources.ConcurrentProvider contract acquires inside the
+// engine fan-out too, overlapping network- or disk-bound re-acquisition
+// with extraction. Duplicate ids then share one acquisition and one
+// outcome (providers only promise distinct-id safety); the serial path
+// acquires duplicates repeatedly but deterministically, so both paths
+// install identical states. reinduce discards stored wrappers (the
 // wrapper_broken reaction); otherwise they are reused and repaired. The
 // returned outcomes are in ids order (nil where acquire returned no
 // source), ready for an in-order merge.
 func (w *Wrangler) computeSources(ctx context.Context, ids []string, acquire func(string) *sources.Source, reinduce bool) ([]*sourceOutcome, error) {
 	type job struct {
+		id   string
 		src  *sources.Source
 		prev *sourceState
+	}
+	if cp, ok := w.Provider.(sources.ConcurrentProvider); ok && cp.ConcurrentAcquire() {
+		// One job per distinct id, acquisition deferred into the worker.
+		// prev states are snapshotted up front: installs only happen after
+		// the whole fan-out, so every duplicate sees the same baseline.
+		uniq := make([]*job, 0, len(ids))
+		jobOf := make(map[string]*job, len(ids))
+		for _, id := range ids {
+			if _, dup := jobOf[id]; dup {
+				continue
+			}
+			j := &job{id: id, prev: w.states[id]}
+			jobOf[id] = j
+			uniq = append(uniq, j)
+		}
+		done, err := engine.MapSlice(ctx, w.workers(), uniq, func(_ context.Context, j *job) (*sourceOutcome, error) {
+			if s := acquire(j.id); s != nil {
+				return w.computeSource(s, j.prev, reinduce), nil
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[string]*sourceOutcome, len(uniq))
+		for i, j := range uniq {
+			byID[j.id] = done[i]
+		}
+		out := make([]*sourceOutcome, len(ids))
+		for i, id := range ids {
+			out[i] = byID[id]
+		}
+		return out, nil
 	}
 	jobs := make([]*job, len(ids))
 	for i, id := range ids {
@@ -233,12 +265,10 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 		// integration tail has nothing new to fold in.
 		return stats, errors.Join(errs...)
 	}
-	tailStart := time.Now()
-	if err := w.integrateTail(ctx); err != nil {
+	if err := w.runTail(ctx, tailFull, &stats); err != nil {
 		errs = append(errs, err)
 		return stats, errors.Join(errs...)
 	}
-	stats.Stages["integrate"] = time.Since(tailStart)
 	stats.Reclustered = true
 	stats.Refused = true
 	stats.Duration = time.Since(start)
@@ -254,6 +284,7 @@ func (w *Wrangler) RefreshSourcesContext(ctx context.Context, ids []string) (Rea
 func (w *Wrangler) FullRerun() (ReactStats, error) {
 	start := time.Now()
 	w.states = map[string]*sourceState{}
+	w.memo = nil // discarded working data: nothing left to stream against
 	// The derivations are discarded but the logical clock is not rewound:
 	// versions the serve store already committed keep steps strictly below
 	// everything the rerun publishes.

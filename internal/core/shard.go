@@ -57,24 +57,54 @@ func (p *shardPage) rowsEqual(q *shardPage) bool {
 type shardRun struct {
 	plan         *er.ShardPlan
 	must, cannot []er.Pair
+	rowKeys      []string         // plan stage: stable key per union row
 	roots        []map[int]int    // resolve fan-out: shard -> row -> cluster representative
 	claims       [][]fusion.Claim // cluster barrier: shard -> its entities' claims
 	opts         fusion.Options   // cluster barrier: trust already estimated
 	pages        []*shardPage     // fuse fan-out
 	empty        bool             // nothing to integrate; all stages no-op
+
+	// Streaming bookkeeping. stream selects the incremental re-plan in
+	// the plan stage; fuseOnly marks a trust+fusion tail reusing the
+	// stored clustering. reused records which shards skipped resolution;
+	// trustMemo carries the warm trust state into the recorded memo.
+	stream    bool
+	fuseOnly  bool
+	rp        *er.RePlanned // streaming plan stage: per-shard reuse and dirty residue
+	reused    []bool
+	trustMemo *fusion.TrustMemo
+}
+
+// resolvedShards counts the shards whose clusters were computed (not
+// reused) this tail.
+func (sr *shardRun) resolvedShards() (resolved, reused int) {
+	if sr.fuseOnly {
+		// A fuse-only tail reuses every shard's clusters by construction.
+		return 0, len(sr.pages)
+	}
+	for i := range sr.pages {
+		if i < len(sr.reused) && sr.reused[i] {
+			reused++
+		} else {
+			resolved++
+		}
+	}
+	return resolved, reused
 }
 
 // addIntegrationTasks wires the integration tail into g after deps. With
 // IntegrationShards <= 0 that is the single sequential "integrate" task;
-// otherwise the sharded pipeline: plan (union + blocking partition) →
-// resolve[shard] fan-out → cluster barrier (merge clusters, name
-// entities, estimate trust globally) → fuse[shard] fan-out → merge.
-func (w *Wrangler) addIntegrationTasks(g *engine.Graph, deps ...string) error {
+// otherwise the sharded pipeline: plan (union + blocking partition, or
+// the incremental re-plan when sr.stream is set) → resolve[shard]
+// fan-out (skipping shards whose clusters carried over) → cluster
+// barrier (merge clusters, name entities, estimate trust globally —
+// warm-started on streaming sessions) → fuse[shard] fan-out (reusing
+// pages whose claims and trust are unchanged) → merge.
+func (w *Wrangler) addIntegrationTasks(g *engine.Graph, sr *shardRun, deps ...string) error {
 	n := w.IntegrationShards
 	if n <= 0 {
 		return g.Add("integrate", func(context.Context) error { return w.integrate() }, deps...)
 	}
-	sr := &shardRun{}
 	if err := g.Add("integrate:plan", func(context.Context) error {
 		return w.shardPlanStage(sr, n)
 	}, deps...); err != nil {
@@ -96,9 +126,9 @@ func (w *Wrangler) addIntegrationTasks(g *engine.Graph, deps ...string) error {
 
 // addFuseMergeTasks wires the back half of the sharded tail — the
 // fuse[shard] fan-out and the merge barrier — shared by the full
-// integration pipeline and the fuse-only reaction (fuseTail), so the
-// two paths cannot drift apart in task ids (which stage attribution
-// matches on) or dependency shape.
+// integration pipeline and the planner's fuse-only tail
+// (addFuseOnlyTasks), so the two paths cannot drift apart in task ids
+// (which stage attribution matches on) or dependency shape.
 func (w *Wrangler) addFuseMergeTasks(g *engine.Graph, sr *shardRun, n int, deps ...string) error {
 	fuseIDs, err := g.AddFanOut("fuse", n, func(_ context.Context, i int) error {
 		w.shardFuseStage(sr, i)
@@ -112,62 +142,17 @@ func (w *Wrangler) addFuseMergeTasks(g *engine.Graph, sr *shardRun, n int, deps 
 	}, fuseIDs...)
 }
 
-// integrateTail recomputes the integration tail outside a full run — the
-// feedback and refresh reaction paths. The sequential tail runs inline;
-// the sharded tail runs as its own engine graph over the wrangler's
-// worker bound, cancellable at every task boundary.
-func (w *Wrangler) integrateTail(ctx context.Context) error {
-	if w.IntegrationShards <= 0 {
-		return w.integrate()
-	}
-	g := engine.NewGraph()
-	if err := w.addIntegrationTasks(g); err != nil {
-		return err
-	}
-	return g.Run(ctx, w.workers())
-}
-
-// fuseTail recomputes fusion only — the value-feedback reaction, where
-// trust moved but the union and clustering did not. The sequential path
-// re-fuses inline; a sharded session re-fuses per shard using the
-// entity routing of its last integration, so the cheapest and most
-// common reaction keeps the fan-out AND the delta chain: untouched
-// shards' pages still share records with the predecessor version
-// instead of the whole table being deep-copied.
-func (w *Wrangler) fuseTail(ctx context.Context) error {
-	if w.IntegrationShards <= 0 || len(w.entityShard) == 0 || len(w.pages) == 0 {
-		// Sequential session, or no sharded integration to reuse (e.g.
-		// the last union was empty).
-		return w.fuse()
-	}
-	n := len(w.pages)
-	// Mirror the sequential fuse exactly: entity names first (clusters
-	// are unchanged, so this is a recomputation of the same names), then
-	// claims, then the global trust stage.
-	w.entityIDs = w.entityNames()
-	claims := w.buildClaims()
-	sr := &shardRun{
-		claims: make([][]fusion.Claim, n),
-		pages:  make([]*shardPage, n),
-		opts:   fusion.EstimateTrust(claims, w.fusionOptions()),
-	}
-	for _, c := range claims {
-		s := w.entityShard[c.Entity]
-		sr.claims[s] = append(sr.claims[s], c)
-	}
-	g := engine.NewGraph()
-	if err := w.addFuseMergeTasks(g, sr, n); err != nil {
-		return err
-	}
-	return g.Run(ctx, w.workers())
-}
-
 // shardPlanStage builds the union (shared head with the sequential tail:
 // FD repair, resolver refinement from feedback) and partitions it into
 // blocking shards. Cross-shard blocks cannot exist by construction: the
 // plan routes whole block-connected components, keyed by their smallest
-// stable row key, to a deterministic owner shard.
+// stable row key, to a deterministic owner shard. On a streaming tail
+// (sr.stream) the partition is computed incrementally instead: the
+// dirty-row diff against the memoized union drives er.RePlan, which
+// re-blocks only changed rows and hands back the previous clusters of
+// every shard the delta provably did not touch.
 func (w *Wrangler) shardPlanStage(sr *shardRun, n int) error {
+	memo := w.memo
 	empty, err := w.buildUnion()
 	if err != nil {
 		return err
@@ -177,24 +162,68 @@ func (w *Wrangler) shardPlanStage(sr *shardRun, n int) error {
 		return nil
 	}
 	sr.must, sr.cannot = w.pairConstraints()
-	plan, err := w.resolver.PlanShards(w.union, n, sr.must, w.rowKeys())
-	if err != nil {
-		// Same wrapping as the sequential tail's ResolveConstrained
-		// failure: a misconfigured resolver fails identically either way.
-		return fmt.Errorf("core: resolve: %w", err)
-	}
-	sr.plan = plan
+	sr.rowKeys = w.rowKeys()
 	sr.roots = make([]map[int]int, n)
 	sr.claims = make([][]fusion.Claim, n)
 	sr.pages = make([]*shardPage, n)
+	sr.reused = make([]bool, n)
+	if w.StreamingRefresh {
+		// Streaming sessions always plan through RePlan: with a memoized
+		// previous tail the diff drives incremental re-planning; without
+		// one (a full run, or after an invalidated memo) RePlan degrades
+		// to a fresh plan whose resolve still seeds the cross-round score
+		// cache, so the very next reaction starts warm.
+		var dirty map[string]bool
+		var prevPlan *er.PlanState
+		if sr.stream && memo != nil {
+			dirty = w.unionDelta(memo, sr.rowKeys)
+			prevPlan = memo.plan
+		}
+		rp, err := w.resolver.RePlan(w.union, n, sr.must, sr.cannot, sr.rowKeys, dirty, prevPlan)
+		if err != nil {
+			// Same wrapping as the sequential tail's ResolveConstrained
+			// failure: a misconfigured resolver fails identically either way.
+			return fmt.Errorf("core: resolve: %w", err)
+		}
+		sr.plan = rp.Plan
+		sr.rp = rp
+		sr.reused = rp.Reused
+		for i := range rp.Roots {
+			if rp.Reused[i] {
+				// Clusters carried over whole; the resolve task will no-op.
+				sr.roots[i] = rp.Roots[i]
+			}
+		}
+		return nil
+	}
+	plan, err := w.resolver.PlanShards(w.union, n, sr.must, sr.rowKeys)
+	if err != nil {
+		return fmt.Errorf("core: resolve: %w", err)
+	}
+	sr.plan = plan
 	return nil
 }
 
 // shardResolveStage clusters one shard. It reads only immutable run state
 // (union rows, the plan, the refined resolver) and writes only its own
-// slot, so the fan-out needs no locks.
+// slot, so the fan-out needs no locks. On a streaming tail, shards whose
+// clusters the re-plan carried over whole skip scoring entirely, and
+// mixed shards score only their dirty components' rows — the clean
+// components' clusters are already translated into the roots slot.
 func (w *Wrangler) shardResolveStage(sr *shardRun, i int) error {
-	if sr.empty {
+	if sr.empty || (i < len(sr.reused) && sr.reused[i]) {
+		return nil
+	}
+	if sr.rp != nil {
+		roots, _, err := sr.rp.ResolveDirty(w.resolver, w.union, i, sr.must, sr.cannot)
+		if err != nil {
+			return fmt.Errorf("core: resolve shard %d: %w", i, err)
+		}
+		merged := sr.rp.Roots[i] // this task owns shard i's slot
+		for row, root := range roots {
+			merged[row] = root
+		}
+		sr.roots[i] = merged
 		return nil
 	}
 	roots, _, err := w.resolver.ResolveShard(w.union, sr.plan, i, sr.must, sr.cannot)
@@ -233,11 +262,11 @@ func (w *Wrangler) shardClusterStage(sr *shardRun) error {
 			entityShard[e] = sr.plan.RowShard[i]
 		}
 	}
-	// Kept on the wrangler: a later fuse-only reaction (fuseTail) reuses
-	// this routing, since trust changes never move an entity's shard.
+	// Kept on the wrangler: a later fuse-only reaction reuses this
+	// routing, since trust changes never move an entity's shard.
 	w.entityShard = entityShard
 	claims := w.buildClaims()
-	sr.opts = fusion.EstimateTrust(claims, w.fusionOptions())
+	sr.estimateTrust(w, claims)
 	for _, c := range claims {
 		s := entityShard[c.Entity]
 		sr.claims[s] = append(sr.claims[s], c)
@@ -245,13 +274,40 @@ func (w *Wrangler) shardClusterStage(sr *shardRun) error {
 	return nil
 }
 
+// estimateTrust runs the one inherently global stage of fusion. On
+// streaming sessions the TruthFinder fixpoint warm-starts from the
+// memoized group state — unchanged (entity, attribute) groups keep their
+// prepared buckets, and when no dirty claim touches any trust-coupled
+// group (and the feedback seeds held) the fixpoint short-circuits to the
+// memoized trust outright. Either way the result is float-exact with the
+// cold EstimateTrust the non-streaming tails run.
+func (sr *shardRun) estimateTrust(w *Wrangler, claims []fusion.Claim) {
+	if !w.StreamingRefresh {
+		sr.opts = fusion.EstimateTrust(claims, w.fusionOptions())
+		return
+	}
+	var prev *fusion.TrustMemo
+	if w.memo != nil {
+		prev = w.memo.trust
+	}
+	sr.opts, sr.trustMemo, _ = fusion.EstimateTrustWarm(claims, w.fusionOptions(), prev)
+}
+
 // shardFuseStage fuses one shard's claims under the globally estimated
 // trust and materialises the shard's page. Claim partitioning preserved
 // row order, so every (entity, attribute) group sees its claims in the
 // exact order the sequential fuse would — bucket representatives and
-// vote accumulation match bit for bit.
+// vote accumulation match bit for bit. When the shard's claims and the
+// effective trust of every source claiming in it are unchanged from the
+// memoized tail, the previous page — entities, records and results — is
+// adopted by reference instead: fusion provably could not produce
+// anything else.
 func (w *Wrangler) shardFuseStage(sr *shardRun, i int) {
 	if sr.empty {
+		return
+	}
+	if w.shardFuseReusable(sr, i) {
+		sr.pages[i] = w.memo.pages[i]
 		return
 	}
 	results := fusion.FuseResolved(sr.claims[i], sr.opts)
@@ -311,6 +367,9 @@ func (w *Wrangler) shardMergeStage(sr *shardRun) error {
 	w.LastStats.RowsWrangled = out.Len()
 	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
 		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, sr.opts.Policy.String())
+	if w.StreamingRefresh {
+		w.recordTailMemo(sr)
+	}
 	return nil
 }
 

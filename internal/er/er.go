@@ -147,6 +147,34 @@ func (r *Resolver) Score(features []float64) float64 {
 	return s / wsum
 }
 
+// blockKeysOf returns the block keys row i contributes to: its
+// normalised key value plus each distinct q-gram of each name token —
+// exactly the keys CandidatePairs blocks on, factored out so the
+// incremental re-plan (replan.go) re-blocks a changed row identically.
+func (r *Resolver) blockKeysOf(t *dataset.Table, i int) []string {
+	var keys []string
+	if r.KeyColumn != "" {
+		if v := t.Get(i, r.KeyColumn); !v.IsNull() {
+			keys = append(keys, "k:"+text.Normalize(v.String()))
+		}
+	}
+	if r.NameColumn != "" {
+		if v := t.Get(i, r.NameColumn); !v.IsNull() {
+			seen := map[string]bool{}
+			for _, tok := range text.Tokenize(v.String()) {
+				for _, g := range text.QGrams(tok, r.BlockGramSize) {
+					key := "g:" + g
+					if !seen[key] {
+						seen[key] = true
+						keys = append(keys, key)
+					}
+				}
+			}
+		}
+	}
+	return keys
+}
+
 // CandidatePairs blocks the table on name q-grams (plus exact keys) and
 // returns the deduplicated candidate pairs. Blocking keeps the candidate
 // set near-linear instead of quadratic; oversized blocks (stop-gram
@@ -154,26 +182,8 @@ func (r *Resolver) Score(features []float64) float64 {
 func (r *Resolver) CandidatePairs(t *dataset.Table) []Pair {
 	blocks := map[string][]int{}
 	for i := 0; i < t.Len(); i++ {
-		if r.KeyColumn != "" {
-			if v := t.Get(i, r.KeyColumn); !v.IsNull() {
-				k := "k:" + text.Normalize(v.String())
-				blocks[k] = append(blocks[k], i)
-			}
-		}
-		if r.NameColumn != "" {
-			if v := t.Get(i, r.NameColumn); !v.IsNull() {
-				toks := text.Tokenize(v.String())
-				seen := map[string]bool{}
-				for _, tok := range toks {
-					for _, g := range text.QGrams(tok, r.BlockGramSize) {
-						key := "g:" + g
-						if !seen[key] {
-							seen[key] = true
-							blocks[key] = append(blocks[key], i)
-						}
-					}
-				}
-			}
+		for _, k := range r.blockKeysOf(t, i) {
+			blocks[k] = append(blocks[k], i)
 		}
 	}
 	pairSet := map[Pair]bool{}

@@ -41,6 +41,11 @@ type ShardPlan struct {
 	// Components is the number of block-connected components the rows
 	// formed — the upper bound on useful parallelism.
 	Components int
+
+	// idx is the block index the plan's pairs were derived from, keyed by
+	// stable row key. BuildPlanState hands it to the next incremental
+	// re-plan (replan.go), which updates only the dirty rows' blocks.
+	idx *blockIndex
 }
 
 // PlanShards builds the shard plan for n shards. Candidate pairs are the
@@ -61,8 +66,44 @@ func (r *Resolver) PlanShards(t *dataset.Table, n int, must []Pair, rowKeys []st
 	if n < 1 {
 		n = 1
 	}
-	rows := t.Len()
-	pairs := r.CandidatePairs(t)
+	key := rowKeyFn(rowKeys)
+	idx := r.buildBlockIndex(t, key)
+	pairs, err := idx.pairs(rowIndexOf(t.Len(), key), r.MaxBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	plan, _ := assemblePlan(t.Len(), n, pairs, must, key)
+	plan.idx = idx
+	return plan, nil
+}
+
+// rowKeyFn returns the stable-key accessor PlanShards documents: the
+// caller's rowKeys where present, the positional "#i" fallback otherwise.
+func rowKeyFn(rowKeys []string) func(int) string {
+	return func(i int) string {
+		if i < len(rowKeys) && rowKeys[i] != "" {
+			return rowKeys[i]
+		}
+		return "#" + strconv.Itoa(i)
+	}
+}
+
+// rowIndexOf inverts a key accessor over [0, rows).
+func rowIndexOf(rows int, key func(int) string) map[string]int {
+	out := make(map[string]int, rows)
+	for i := 0; i < rows; i++ {
+		out[key(i)] = i
+	}
+	return out
+}
+
+// assemblePlan routes rows to shards given the candidate pairs: pairs and
+// must-links glue rows into block-connected components, each component is
+// keyed by its smallest row key and hashed whole to an owner shard. It is
+// the shared back half of PlanShards and RePlan — the two paths cannot
+// drift in routing. The second return maps each row to its component's
+// union-find root, which RePlan uses to reuse clusters per component.
+func assemblePlan(rows, n int, pairs, must []Pair, key func(int) string) (*ShardPlan, []int) {
 	parent := make([]int, rows)
 	for i := range parent {
 		parent[i] = i
@@ -88,12 +129,6 @@ func (r *Resolver) PlanShards(t *dataset.Table, n int, must []Pair, rowKeys []st
 		if validPair(p, rows) {
 			union(p.I, p.J)
 		}
-	}
-	key := func(i int) string {
-		if i < len(rowKeys) && rowKeys[i] != "" {
-			return rowKeys[i]
-		}
-		return "#" + strconv.Itoa(i)
 	}
 	// Component owner key: the smallest row key in the component.
 	owner := map[int]string{}
@@ -126,7 +161,11 @@ func (r *Resolver) PlanShards(t *dataset.Table, n int, must []Pair, rowKeys []st
 		s := plan.RowShard[p.I] // == RowShard[p.J]: pairs never cross components
 		plan.Pairs[s] = append(plan.Pairs[s], p)
 	}
-	return plan, nil
+	comp := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		comp[i] = find(i)
+	}
+	return plan, comp
 }
 
 // FilterPairs returns the subset of ps with both endpoints in the given
@@ -201,6 +240,15 @@ func (p *ShardPlan) MergeRoots(roots []map[int]int) (*Clustering, error) {
 // order ResolveConstrained documents. The returned map gives, for each
 // row, the smallest row index of its cluster.
 func (r *Resolver) resolveRows(t *dataset.Table, rows []int, pairs, must, cannot []Pair) (map[int]int, int) {
+	return r.resolveRowsScored(t, rows, pairs, must, cannot, nil)
+}
+
+// resolveRowsScored is resolveRows with a pluggable pair scorer: the
+// streaming path injects its cross-round score cache (a pair's score
+// depends only on its two rows' values, so content-unchanged endpoints
+// make the cached float bit-identical to recomputing). A nil score falls
+// back to the rule.
+func (r *Resolver) resolveRowsScored(t *dataset.Table, rows []int, pairs, must, cannot []Pair, score func(Pair) float64) (map[int]int, int) {
 	local := make(map[int]int, len(rows))
 	for li, g := range rows {
 		local[g] = li
@@ -297,7 +345,12 @@ func (r *Resolver) resolveRows(t *dataset.Table, rows []int, pairs, must, cannot
 		if _, _, ok := localPair(p); !ok {
 			continue
 		}
-		s := r.Score(r.Features(t, p.I, p.J))
+		var s float64
+		if score != nil {
+			s = score(p)
+		} else {
+			s = r.Score(r.Features(t, p.I, p.J))
+		}
 		if s >= r.Threshold {
 			scored = append(scored, scoredPair{p: p, s: s})
 		}

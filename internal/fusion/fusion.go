@@ -355,10 +355,18 @@ func voteWeight(c Claim, opts Options) float64 {
 }
 
 func trustOf(sourceID string, opts Options) float64 {
-	if t, ok := opts.Trust[sourceID]; ok && t > 0 {
+	return TrustOf(opts.Trust, opts.DefaultTrust, sourceID)
+}
+
+// TrustOf is the one trust lookup rule every fusion stage applies: a
+// positive entry wins, anything else falls back to the default.
+// Exported because the streaming planner's page-reuse proof must apply
+// the exact same rule when comparing effective trust across rounds.
+func TrustOf(trust map[string]float64, defaultTrust float64, sourceID string) float64 {
+	if t, ok := trust[sourceID]; ok && t > 0 {
 		return t
 	}
-	return opts.DefaultTrust
+	return defaultTrust
 }
 
 // estimateTrust runs the TruthFinder-style fixpoint: value confidence is

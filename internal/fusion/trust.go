@@ -1,0 +1,260 @@
+package fusion
+
+import (
+	"maps"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// This file is the warm-started half of trust estimation. TruthFinder's
+// fixpoint is the one stage of fusion that couples every (entity,
+// attribute) group to every other, so a partial tail cannot shard it —
+// but it can avoid repeating the expensive, iteration-invariant parts: a
+// group's bucket structure (which claims share a value, each bucket's
+// normalised representative, which buckets each claim matches) depends
+// only on claim values, never on the trust being estimated. A TrustMemo
+// caches that prepared structure per group plus the estimation's inputs
+// and result; the next estimation rebuilds only the groups whose claims
+// changed, and when nothing relevant changed at all it returns the
+// memoized trust without iterating once. Every path is float-exact with
+// EstimateTrust — pinned by the equivalence property test.
+
+// trustGroup is one (entity, attribute) group prepared for the fixpoint:
+// everything bucketize would recompute per iteration that does not
+// depend on trust.
+type trustGroup struct {
+	initSources []string // every claim's source, claim order (nulls included)
+	sources     []string // non-null claims' sources, claim order
+	claimBucket []int    // per non-null claim: bucket it accumulates into
+	match       [][]bool // per non-null claim: which buckets it sameValues
+	norms       []string // per bucket: normalised representative
+}
+
+// prepareTrustGroup mirrors bucketize's bucket formation exactly: claims
+// join the first bucket (in creation order) whose representative matches,
+// or open a new one. The match matrix is computed against the final
+// bucket set — in the fixpoint a claim credits the first *sorted* bucket
+// it matches, which can be a bucket created after it.
+func prepareTrustGroup(claims []Claim, tol float64) *trustGroup {
+	g := &trustGroup{initSources: make([]string, 0, len(claims))}
+	var reps []dataset.Value
+	for _, c := range claims {
+		g.initSources = append(g.initSources, c.SourceID)
+		if c.Value.IsNull() {
+			continue
+		}
+		g.sources = append(g.sources, c.SourceID)
+		bi := -1
+		for i, rep := range reps {
+			if sameValue(rep, c.Value, tol) {
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			bi = len(reps)
+			reps = append(reps, c.Value)
+			g.norms = append(g.norms, text.Normalize(c.Value.String()))
+		}
+		g.claimBucket = append(g.claimBucket, bi)
+	}
+	ci := 0
+	g.match = make([][]bool, len(g.sources))
+	for _, c := range claims {
+		if c.Value.IsNull() {
+			continue
+		}
+		row := make([]bool, len(reps))
+		for i, rep := range reps {
+			row[i] = sameValue(rep, c.Value, tol)
+		}
+		g.match[ci] = row
+		ci++
+	}
+	return g
+}
+
+// runTrustFixpoint is estimateTrust over prepared groups: identical float
+// accumulation order, identical bucket sort, identical damped update and
+// early break — only the per-iteration string work is gone.
+func runTrustFixpoint(keys []string, groups map[string]*trustGroup, opts *Options) {
+	for _, k := range keys {
+		for _, src := range groups[k].initSources {
+			if _, ok := opts.Trust[src]; !ok {
+				opts.Trust[src] = opts.DefaultTrust
+			}
+		}
+	}
+	for iter := 0; iter < opts.Iterations; iter++ {
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, k := range keys {
+			g := groups[k]
+			w := make([]float64, len(g.norms))
+			for ci, src := range g.sources {
+				w[g.claimBucket[ci]] += trustOf(src, *opts)
+			}
+			// Same comparator as bucketize's final sort, applied to bucket
+			// indices: identical comparison outcomes give the identical
+			// permutation, so the weight-sorted traversal below credits the
+			// same bucket per claim.
+			order := make([]int, len(w))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(i, j int) bool {
+				if w[order[i]] != w[order[j]] {
+					return w[order[i]] > w[order[j]]
+				}
+				return g.norms[order[i]] < g.norms[order[j]]
+			})
+			total := 0.0
+			for _, bi := range order {
+				total += w[bi]
+			}
+			if total == 0 {
+				continue
+			}
+			for ci, src := range g.sources {
+				for _, bi := range order {
+					if g.match[ci][bi] {
+						sums[src] += w[bi] / total
+						counts[src]++
+						break
+					}
+				}
+			}
+		}
+		srcs := make([]string, 0, len(sums))
+		for src := range sums {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		delta := 0.0
+		for _, src := range srcs {
+			if counts[src] == 0 || opts.Pinned[src] {
+				continue
+			}
+			next := 0.5*opts.Trust[src] + 0.5*(sums[src]/float64(counts[src]))
+			delta += math.Abs(next - opts.Trust[src])
+			opts.Trust[src] = next
+		}
+		if delta < 1e-6 {
+			break
+		}
+	}
+}
+
+// TrustMemo caches one trust estimation: its inputs (seed trust, pinned
+// set, option knobs, the grouped claims), the prepared per-group state,
+// and the resulting trust map.
+type TrustMemo struct {
+	policy       Policy
+	seeds        map[string]float64
+	pinned       map[string]bool
+	defaultTrust float64
+	iterations   int
+	tolerance    float64
+	keys         []string
+	claims       map[string][]Claim
+	groups       map[string]*trustGroup
+	result       map[string]float64
+}
+
+// EstimateTrustWarm is EstimateTrust with a cross-reaction memo. It
+// returns options ready for FuseResolved, the memo for the next call,
+// and whether the fixpoint was skipped outright (no trust-coupled group
+// saw a dirty claim and the seeds were unchanged, so the memoized trust
+// is byte-identical to what iterating would produce). prev may be nil —
+// the estimation then runs from scratch but still returns a memo.
+func EstimateTrustWarm(claims []Claim, opts Options, prev *TrustMemo) (Options, *TrustMemo, bool) {
+	opts = opts.normalized()
+	if opts.Policy != TruthFinder {
+		// No fixpoint exists for this policy; EstimateTrust is a no-op
+		// beyond normalization, so there is nothing to warm.
+		return opts, &TrustMemo{policy: opts.Policy}, true
+	}
+	groups, keys := groupClaims(claims)
+	seeds := maps.Clone(opts.Trust)
+	pinned := maps.Clone(opts.Pinned)
+	reusable := prev != nil && prev.policy == TruthFinder &&
+		prev.defaultTrust == opts.DefaultTrust &&
+		prev.iterations == opts.Iterations &&
+		prev.tolerance == opts.NumericTolerance &&
+		maps.Equal(prev.pinned, pinned)
+	if reusable && maps.Equal(prev.seeds, seeds) && slices.Equal(prev.keys, keys) {
+		unchanged := true
+		for _, k := range keys {
+			if !trustClaimsEqual(prev.claims[k], groups[k]) {
+				unchanged = false
+				break
+			}
+		}
+		if unchanged {
+			opts.Trust = maps.Clone(prev.result)
+			return opts, prev, true
+		}
+	}
+	tg := make(map[string]*trustGroup, len(keys))
+	for _, k := range keys {
+		if reusable {
+			if pg, ok := prev.groups[k]; ok && trustClaimsEqual(prev.claims[k], groups[k]) {
+				tg[k] = pg
+				continue
+			}
+		}
+		tg[k] = prepareTrustGroup(groups[k], opts.NumericTolerance)
+	}
+	runTrustFixpoint(keys, tg, &opts)
+	memo := &TrustMemo{
+		policy:       TruthFinder,
+		seeds:        seeds,
+		pinned:       pinned,
+		defaultTrust: opts.DefaultTrust,
+		iterations:   opts.Iterations,
+		tolerance:    opts.NumericTolerance,
+		keys:         keys,
+		claims:       groups,
+		groups:       tg,
+		result:       maps.Clone(opts.Trust),
+	}
+	return opts, memo, false
+}
+
+// trustClaimsEqual compares two claim lists on everything the trust
+// fixpoint reads: source and value, in order. AsOf is deliberately
+// ignored — freshness never enters trust estimation, so a re-snapshot
+// that kept every value does not dirty the group.
+func trustClaimsEqual(a, b []Claim) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].SourceID != b[i].SourceID || !a[i].Value.Equal(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClaimsEqual reports whether two claim lists are identical in every
+// field fusion can read — entity, attribute, source, value and
+// observation time. The partial tail uses it to prove a shard's fused
+// page can be reused by reference.
+func ClaimsEqual(a, b []Claim) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Entity != b[i].Entity || a[i].Attribute != b[i].Attribute ||
+			a[i].SourceID != b[i].SourceID || !a[i].Value.Equal(b[i].Value) ||
+			!a[i].AsOf.Equal(b[i].AsOf) {
+			return false
+		}
+	}
+	return true
+}

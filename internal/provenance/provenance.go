@@ -155,6 +155,21 @@ func (g *Graph) Affected(changed ...Ref) []Ref {
 	return sortRefs(seen)
 }
 
+// AffectedIDs is the scoped form of Affected the reaction planner uses:
+// it returns the ids (sorted) of affected artefacts of exactly one kind.
+// Asking "which extractions does this source churn invalidate" bounds an
+// incremental diff to the artefacts provenance actually implicates,
+// instead of rescanning the corpus — the §2.4 requirement made queryable.
+func (g *Graph) AffectedIDs(kind Kind, changed ...Ref) []string {
+	var out []string
+	for _, r := range g.Affected(changed...) {
+		if r.Kind == kind {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
 // Lineage returns the transitive inputs of an artefact (excluding itself),
 // sorted — "where did this wrangled value come from".
 func (g *Graph) Lineage(of Ref) []Ref {

@@ -62,6 +62,21 @@ func TestAffected(t *testing.T) {
 	}
 }
 
+func TestAffectedIDsScopesByKind(t *testing.T) {
+	g := NewGraph()
+	pipeline(g)
+	got := g.AffectedIDs(KindExtraction, Ref{KindSource, "s1"})
+	if len(got) != 1 || got[0] != "e1" {
+		t.Errorf("AffectedIDs(extraction, s1) = %v, want [e1]", got)
+	}
+	if got := g.AffectedIDs(KindFusion, Ref{KindSource, "s1"}); len(got) != 1 || got[0] != "wrangled" {
+		t.Errorf("AffectedIDs(fusion, s1) = %v, want [wrangled]", got)
+	}
+	if got := g.AffectedIDs(KindWrapper, Ref{KindSource, "s2"}); len(got) != 0 {
+		t.Errorf("AffectedIDs(wrapper, s2) = %v, want none", got)
+	}
+}
+
 func TestAffectedExcludesSelf(t *testing.T) {
 	g := NewGraph()
 	pipeline(g)

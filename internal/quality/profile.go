@@ -135,21 +135,35 @@ func fdConfidence(t *dataset.Table, li, ri int) (float64, int, bool) {
 // too unreliable to act on — acting on weak evidence is exactly what §4.2
 // warns against.
 func ProfileAndRepair(t *dataset.Table, minConf float64) ([]DiscoveredFD, int, error) {
+	used, changed, _, err := ProfileAndRepairRows(t, minConf)
+	return used, changed, err
+}
+
+// ProfileAndRepairRows is ProfileAndRepair reporting the repaired row
+// indices (ascending, deduplicated across dependencies). The streaming
+// refresh planner diffs exactly these rows — plus the previous round's —
+// against the memoized union, since FD repair is the one stage that can
+// rewrite a row whose source did not change.
+func ProfileAndRepairRows(t *dataset.Table, minConf float64) ([]DiscoveredFD, int, []int, error) {
 	fds := DiscoverFDs(t, minConf, 2)
 	changed := 0
+	rows := map[int]bool{}
 	var used []DiscoveredFD
 	for _, fd := range fds {
 		if fd.Confidence >= 1 {
 			continue
 		}
-		n, err := Repair(t, []CFD{fd.CFD()})
+		n, touched, err := RepairRows(t, []CFD{fd.CFD()})
+		for _, r := range touched {
+			rows[r] = true
+		}
 		if err != nil {
-			return used, changed, err
+			return used, changed, sortedRows(rows), err
 		}
 		if n > 0 {
 			used = append(used, fd)
 			changed += n
 		}
 	}
-	return used, changed, nil
+	return used, changed, sortedRows(rows), nil
 }

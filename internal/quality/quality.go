@@ -10,6 +10,7 @@ package quality
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/dataset"
@@ -304,19 +305,39 @@ func Consistency(t *dataset.Table, cfds []CFD) (float64, error) {
 // place. It returns the number of cells changed. Repairs are applied per
 // dependency in order; later dependencies see earlier repairs.
 func Repair(t *dataset.Table, cfds []CFD) (int, error) {
+	changed, _, err := RepairRows(t, cfds)
+	return changed, err
+}
+
+// RepairRows is Repair reporting which rows it touched (ascending,
+// deduplicated) alongside the cell count. Incremental consumers use the
+// row list to scope change detection: a row outside it kept its
+// pre-repair values.
+func RepairRows(t *dataset.Table, cfds []CFD) (int, []int, error) {
 	changed := 0
+	touched := map[int]bool{}
 	for _, cfd := range cfds {
 		vs, err := Violations(t, cfd)
 		if err != nil {
-			return changed, err
+			return changed, sortedRows(touched), err
 		}
 		rhsIdx := t.Schema().Index(cfd.RHS)
 		for _, v := range vs {
 			t.Row(v.Row)[rhsIdx] = v.Expected
+			touched[v.Row] = true
 			changed++
 		}
 	}
-	return changed, nil
+	return changed, sortedRows(touched), nil
+}
+
+func sortedRows(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Assess produces a full scorecard in one pass. reference, timeCol and

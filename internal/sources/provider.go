@@ -14,10 +14,11 @@ package sources
 // workers, which call Clock (and read the *Source values already handed
 // out) concurrently — those paths must be safe for concurrent reads, which
 // they are for any provider that does not mutate itself outside Refresh.
-// Refresh and List are only ever called from one goroutine at a time (the
-// orchestrator serialises acquisition precisely because Refresh may mutate
-// provider state, as the synthetic Universe does when re-rendering a
-// source in place).
+// For the base interface, Refresh, Lookup-for-reacquisition and List are
+// only ever called from one goroutine at a time (the orchestrator
+// serialises acquisition precisely because Refresh may mutate provider
+// state). Providers whose acquisition is safe to overlap opt out of that
+// serialisation via ConcurrentProvider.
 type Provider interface {
 	// List returns every source the provider currently offers, in a
 	// stable order.
@@ -32,6 +33,33 @@ type Provider interface {
 	Clock() int
 }
 
+// ConcurrentProvider is the opt-in extension of Provider for backends
+// whose re-acquisition can overlap: when ConcurrentAcquire reports true,
+// the orchestrator calls Refresh and Lookup from the engine's worker
+// pool instead of serialising them, overlapping network- or disk-bound
+// acquisition with extraction.
+//
+// The contract the provider signs up to:
+//
+//   - Refresh and Lookup are safe to call concurrently for DISTINCT
+//     source ids. The orchestrator deduplicates a batch before fanning
+//     out, so two concurrent calls never target the same id.
+//   - Results stay deterministic: concurrent re-acquisition of a batch
+//     yields byte-identical sources to serial re-acquisition in any
+//     order (the pipeline's byte-identity guarantees rest on it).
+//   - Refresh is still never concurrent with List, Clock-advancing
+//     mutations (e.g. Universe.World.Evolve) or another batch — the
+//     orchestrator only overlaps calls within one acquisition fan-out.
+//
+// ConcurrentAcquire is consulted per batch, so a provider may flip it
+// (e.g. a rate-limited crawler degrading to serial).
+type ConcurrentProvider interface {
+	Provider
+	// ConcurrentAcquire reports whether Refresh/Lookup may be called
+	// concurrently for distinct ids.
+	ConcurrentAcquire() bool
+}
+
 // List implements Provider.
 func (u *Universe) List() []*Source { return u.Sources }
 
@@ -40,6 +68,13 @@ func (u *Universe) Lookup(id string) *Source { return u.Source(id) }
 
 // Clock implements Provider.
 func (u *Universe) Clock() int { return u.World.Clock }
+
+// ConcurrentAcquire implements ConcurrentProvider: re-rendering a source
+// writes only that source's records (the world and config are read-only
+// during a refresh), and the per-source RNG is derived from (seed, id,
+// clock), so concurrent distinct-id refreshes are race-free and
+// byte-identical to serial ones.
+func (u *Universe) ConcurrentAcquire() bool { return true }
 
 // Static is a fixed set of in-memory sources — the simplest Provider.
 // Refresh returns the source unchanged.
@@ -68,3 +103,7 @@ func (s *Static) Refresh(id string) *Source { return s.Lookup(id) }
 
 // Clock implements Provider.
 func (s *Static) Clock() int { return 0 }
+
+// ConcurrentAcquire implements ConcurrentProvider: static acquisition is
+// read-only.
+func (s *Static) ConcurrentAcquire() bool { return true }

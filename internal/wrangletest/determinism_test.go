@@ -27,6 +27,44 @@ func TestShardedPipelineMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestStreamingPipelineMatchesFullTail is the streaming acceptance
+// property: for randomized universes and randomized feedback/refresh
+// interleavings, a streaming session — which re-resolves and re-fuses
+// only the shards each reaction dirtied — is byte-identical to the
+// sequential full-tail baseline at shard counts 1/2/4/8, after the
+// initial run and after every reaction. The reuse total must be positive
+// across the sweep: a streaming path that silently fell back to full
+// recompute would pass the identity check without testing anything.
+func TestStreamingPipelineMatchesFullTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline determinism sweep is not -short")
+	}
+	reused := 0
+	for _, seed := range []int64{3, 17} {
+		reused += CheckStreamingDeterminism(t, seed, 6, 5, shardCounts)
+	}
+	if reused == 0 {
+		t.Fatal("streaming sweep never reused a shard — the partial tail did not engage")
+	}
+}
+
+// TestStreamingRePlanMatchesFresh drives the er-layer streaming property
+// over many seeded random tables and mutation scripts: memoize a
+// resolved plan, mutate the table, and the incremental re-plan (dirty
+// rows re-blocked, untouched shards' clusters translated by reference)
+// must reproduce the fresh plan + full resolve exactly.
+func TestStreamingRePlanMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		rows := 2 + rng.Intn(120)
+		for _, n := range shardCounts {
+			if err := CheckStreamingRePlan(rng, rows, n); err != nil {
+				t.Fatalf("seed %d rows %d shards %d: %v", seed, rows, n, err)
+			}
+		}
+	}
+}
+
 // TestShardedResolveMatchesSequential drives the er-layer property over
 // many seeded random tables and constraint sets: plan + per-shard
 // resolve + merge reproduces the sequential constrained clustering

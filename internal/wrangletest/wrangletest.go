@@ -45,6 +45,15 @@ func NewWrangler(seed int64, nSources, shards int) *core.Wrangler {
 	return w
 }
 
+// NewStreamingWrangler is NewWrangler with streaming refresh enabled:
+// reactions recompute only dirty shards, byte-identically to the full
+// tail — the property CheckStreamingDeterminism pins.
+func NewStreamingWrangler(seed int64, nSources, shards int) *core.Wrangler {
+	w := NewWrangler(seed, nSources, shards)
+	w.StreamingRefresh = true
+	return w
+}
+
 // Fingerprint renders every read-side artefact of the wrangler's current
 // working data into one stable string: the full wrangled table, the
 // fused results (value, confidence, support, conflict), the report with
@@ -112,30 +121,31 @@ type Step struct {
 	Refresh  []string
 }
 
-// Apply drives the step against one wrangler. Feedback reactions and
-// refreshes are exactly the session reaction paths; refresh errors are
-// returned as text so the caller can assert the variants failed
-// identically too (best-effort refreshes report per-source errors
-// without aborting the tail).
-func (s Step) Apply(ctx context.Context, w *core.Wrangler) (string, error) {
+// Apply drives the step against one wrangler, returning the reaction
+// stats (for dirty-shard accounting). Feedback reactions and refreshes
+// are exactly the session reaction paths; refresh errors are returned as
+// text so the caller can assert the variants failed identically too
+// (best-effort refreshes report per-source errors without aborting the
+// tail).
+func (s Step) Apply(ctx context.Context, w *core.Wrangler) (core.ReactStats, string, error) {
 	if len(s.Feedback) > 0 {
 		for _, it := range s.Feedback {
 			w.AddFeedback(it)
 		}
-		_, err := w.ReactToFeedbackContext(ctx)
-		return "", err
+		stats, err := w.ReactToFeedbackContext(ctx)
+		return stats, "", err
 	}
 	if s.Churn > 0 {
 		w.EvolveWorld(s.Churn)
 	}
-	_, err := w.RefreshSourcesContext(ctx, s.Refresh)
+	stats, err := w.RefreshSourcesContext(ctx, s.Refresh)
 	if err != nil {
 		// Per-source refresh failures are part of the behaviour under
 		// test (every variant must fail the same way), not harness
 		// errors.
-		return err.Error(), nil
+		return stats, err.Error(), nil
 	}
-	return "", nil
+	return stats, "", nil
 }
 
 // Script derives steps reproducible reactions from rng, inspecting ref
@@ -256,12 +266,12 @@ func CheckDeterminism(t testing.TB, seed int64, nSources, steps int, shardCounts
 
 	rng := rand.New(rand.NewSource(seed*7919 + 13))
 	for _, step := range Script(rng, base, steps) {
-		refErr, err := step.Apply(ctx, base)
+		_, refErr, err := step.Apply(ctx, base)
 		if err != nil {
 			t.Fatalf("%s: baseline: %v", step.Name, err)
 		}
 		for _, v := range variants {
-			vErr, err := step.Apply(ctx, v.w)
+			_, vErr, err := step.Apply(ctx, v.w)
 			if err != nil {
 				t.Fatalf("%s: shards=%d: %v", step.Name, v.shards, err)
 			}
@@ -272,6 +282,69 @@ func CheckDeterminism(t testing.TB, seed int64, nSources, steps int, shardCounts
 		}
 		compare(step.Name)
 	}
+}
+
+// CheckStreamingDeterminism is the streaming acceptance property: a
+// sequential full-tail baseline and one streaming variant per shard
+// count run byte-identical universes through the same seeded-random
+// feedback/refresh script, and every variant must fingerprint
+// identically to the baseline after every step — while recomputing only
+// its dirty shards. It returns the total shards reused across all
+// variants and steps, so callers can additionally assert the partial
+// tail actually engaged (a streaming path that silently fell back to
+// full recompute would pass the identity check vacuously).
+func CheckStreamingDeterminism(t testing.TB, seed int64, nSources, steps int, shardCounts []int) int {
+	t.Helper()
+	ctx := context.Background()
+	base := NewWrangler(seed, nSources, 0)
+	if _, err := base.Run(); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	type variant struct {
+		shards int
+		w      *core.Wrangler
+	}
+	var variants []variant
+	for _, n := range shardCounts {
+		w := NewStreamingWrangler(seed, nSources, n)
+		if _, err := w.Run(); err != nil {
+			t.Fatalf("streaming(%d) run: %v", n, err)
+		}
+		variants = append(variants, variant{shards: n, w: w})
+	}
+	compare := func(stage string) {
+		t.Helper()
+		want := Fingerprint(base)
+		for _, v := range variants {
+			if got := Fingerprint(v.w); got != want {
+				t.Fatalf("streaming shards=%d diverged from full tail at %s:\n%s",
+					v.shards, stage, firstDiff(want, got))
+			}
+		}
+	}
+	compare("initial run")
+
+	reused := 0
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	for _, step := range Script(rng, base, steps) {
+		_, refErr, err := step.Apply(ctx, base)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", step.Name, err)
+		}
+		for _, v := range variants {
+			stats, vErr, err := step.Apply(ctx, v.w)
+			if err != nil {
+				t.Fatalf("%s: streaming shards=%d: %v", step.Name, v.shards, err)
+			}
+			if vErr != refErr {
+				t.Fatalf("%s: streaming shards=%d error diverged:\nfull:      %q\nstreaming: %q",
+					step.Name, v.shards, refErr, vErr)
+			}
+			reused += stats.ShardsReused
+		}
+		compare(step.Name)
+	}
+	return reused
 }
 
 // firstDiff renders the first differing line of two fingerprints with a
@@ -365,6 +438,128 @@ func orderedPair(a, b int) er.Pair {
 		a, b = b, a
 	}
 	return er.Pair{I: a, J: b}
+}
+
+// CheckStreamingRePlan asserts the er-layer streaming equivalence:
+// memoize a resolved plan over one table, mutate the table (value edits,
+// deletions, insertions — the shapes a refresh or reselection produces),
+// and the incremental RePlan plus resolving only the dirty shards must
+// reproduce exactly what a fresh PlanShards plus full resolve produces —
+// routing, reused clusters and all — which in turn equals the sequential
+// constrained resolve. Returns an error instead of failing so the fuzz
+// targets can reuse it.
+func CheckStreamingRePlan(rng *rand.Rand, nRows, shards int) error {
+	r := er.NewResolver("sku", "name", "brand", "price")
+	tabA := RandomTable(rng, nRows)
+	keysA := make([]string, tabA.Len())
+	for i := range keysA {
+		keysA[i] = fmt.Sprintf("row-%04d", i)
+	}
+	mustA, cannotA := RandomConstraints(rng, tabA.Len())
+	planA, err := r.PlanShards(tabA, shards, mustA, keysA)
+	if err != nil {
+		return fmt.Errorf("plan A: %w", err)
+	}
+	rootsA := make([]map[int]int, shards)
+	for i := 0; i < shards; i++ {
+		if rootsA[i], _, err = r.ResolveShard(tabA, planA, i, mustA, cannotA); err != nil {
+			return fmt.Errorf("resolve A shard %d: %w", i, err)
+		}
+	}
+	memo, err := er.BuildPlanState(r, planA, keysA, rootsA, mustA, cannotA)
+	if err != nil {
+		return fmt.Errorf("memoize A: %w", err)
+	}
+
+	// Mutate: edit a few rows in place, drop a few, append a few new ones.
+	tabB := dataset.NewTable(tabA.Schema().Clone())
+	var keysB []string
+	dirty := map[string]bool{}
+	for i := 0; i < tabA.Len(); i++ {
+		if rng.Intn(10) == 0 {
+			dirty[keysA[i]] = true // dropped
+			continue
+		}
+		row := tabA.Row(i).Clone()
+		if rng.Intn(6) == 0 {
+			row[1] = dataset.String(fmt.Sprintf("Edited Widget %d", rng.Intn(50)))
+			dirty[keysA[i]] = true
+		} else if rng.Intn(8) == 0 {
+			row[3] = dataset.Float(200 + float64(rng.Intn(40)))
+			dirty[keysA[i]] = true
+		}
+		tabB.Append(row)
+		keysB = append(keysB, keysA[i])
+	}
+	extra := RandomTable(rng, rng.Intn(6))
+	for i := 0; i < extra.Len(); i++ {
+		tabB.Append(extra.Row(i).Clone())
+		k := fmt.Sprintf("new-%04d", i)
+		keysB = append(keysB, k)
+		dirty[k] = true
+	}
+	if tabB.Len() == 0 {
+		return nil
+	}
+	mustB, cannotB := RandomConstraints(rng, tabB.Len())
+
+	rp, err := r.RePlan(tabB, shards, mustB, cannotB, keysB, dirty, memo)
+	if err != nil {
+		return fmt.Errorf("replan: %w", err)
+	}
+	fresh, err := r.PlanShards(tabB, shards, mustB, keysB)
+	if err != nil {
+		return fmt.Errorf("plan B: %w", err)
+	}
+	for i, s := range fresh.RowShard {
+		if rp.Plan.RowShard[i] != s {
+			return fmt.Errorf("row %d routed to shard %d, fresh plan says %d", i, rp.Plan.RowShard[i], s)
+		}
+	}
+	rootsB := rp.Roots
+	for i := 0; i < shards; i++ {
+		if !rp.Reused[i] {
+			// Mixed shard: score only the dirty components' rows and merge
+			// with the translated clean clusters — the streaming resolve.
+			fresh, _, err := rp.ResolveDirty(r, tabB, i, mustB, cannotB)
+			if err != nil {
+				return fmt.Errorf("resolve B shard %d: %w", i, err)
+			}
+			for row, root := range fresh {
+				rootsB[i][row] = root
+			}
+		}
+		// Reused or merged, the shard's roots must equal a full scoring run.
+		want, _, err := r.ResolveShard(tabB, rp.Plan, i, mustB, cannotB)
+		if err != nil {
+			return fmt.Errorf("verify shard %d: %w", i, err)
+		}
+		if len(want) != len(rootsB[i]) {
+			return fmt.Errorf("shard %d (reused=%v): %d roots, fresh resolve has %d", i, rp.Reused[i], len(rootsB[i]), len(want))
+		}
+		for row, root := range want {
+			if rootsB[i][row] != root {
+				return fmt.Errorf("shard %d (reused=%v): row %d root %d, fresh resolve says %d", i, rp.Reused[i], row, rootsB[i][row], root)
+			}
+		}
+	}
+	merged, err := rp.Plan.MergeRoots(rootsB)
+	if err != nil {
+		return fmt.Errorf("merge B: %w", err)
+	}
+	seq, _, err := r.ResolveConstrained(tabB, mustB, cannotB)
+	if err != nil {
+		return fmt.Errorf("sequential B: %w", err)
+	}
+	if merged.Num != seq.Num {
+		return fmt.Errorf("replan: %d clusters, sequential has %d", merged.Num, seq.Num)
+	}
+	for i, id := range merged.Assign {
+		if id != seq.Assign[i] {
+			return fmt.Errorf("replan: row %d in cluster %d, sequential says %d", i, id, seq.Assign[i])
+		}
+	}
+	return nil
 }
 
 // CheckShardedResolve asserts the core equivalence at the er layer:

@@ -41,6 +41,8 @@ type settings struct {
 
 	integrationShards int
 
+	streamingRefresh bool
+
 	retainVersions int
 
 	seed         int64
@@ -211,6 +213,25 @@ func WithIntegrationShards(n int) Option {
 			return fmt.Errorf("integration shards must be at least 1, got %d", n)
 		}
 		s.integrationShards = n
+		return nil
+	}
+}
+
+// WithStreamingRefresh makes reactions recompute only what changed: the
+// session memoizes its last integrated tail, and every ApplyFeedback /
+// Refresh diffs the rebuilt union against it, re-plans incrementally and
+// re-resolves / re-fuses only the shards the delta touched — untouched
+// shards keep their clusters and fused pages by reference, all the way
+// into the published snapshot version (which already shares untouched
+// records by pointer). Results are byte-identical to the full-tail
+// recompute; only the reaction cost scales with the change instead of
+// the corpus, observable via ReactStats.ShardsResolved /
+// ReactStats.ShardsReused and the per-stage ReactStats.Stages split.
+// Requires WithIntegrationShards: the dirty set is tracked at shard
+// granularity, so a sequential tail has nothing to skip.
+func WithStreamingRefresh() Option {
+	return func(s *settings) error {
+		s.streamingRefresh = true
 		return nil
 	}
 }

@@ -118,6 +118,11 @@ type (
 	// Provider supplies sources to a session; see FromDir, FromFiles and
 	// Synthetic for built-in backends.
 	Provider = sources.Provider
+	// ConcurrentProvider is the opt-in contract for providers whose
+	// Refresh/Lookup are safe to call concurrently for distinct ids —
+	// the session then re-acquires refresh batches in parallel on the
+	// engine pool. All built-in providers implement it.
+	ConcurrentProvider = sources.ConcurrentProvider
 	// Source is one data source as a provider publishes it.
 	Source = sources.Source
 	// SourceKind is a source's syntactic format (CSV, JSON, HTML, KV).
