@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz
+.PHONY: check build vet test race bench fuzz loadtest
 
 check: build vet test
 
@@ -26,19 +26,35 @@ race:
 # BENCH_PR3.json, the sharded integration tail (1/2/4/8 blocking
 # shards) plus delta-vs-full publication in BENCH_PR4.json, and the
 # streaming refresh (full vs dirty-shard partial tail at 1/4/8 shards)
-# plus concurrent source acquisition in BENCH_PR5.json — the PR-over-PR
-# perf trajectory. The patterns are disjoint so nothing runs twice.
+# plus concurrent source acquisition in BENCH_PR5.json, and the
+# change-feed fan-out (1/64/1024 subscribers, full vs delta frames, with
+# p50/p95/p99 delivery latency and frame bytes) in BENCH_PR6.json — the
+# PR-over-PR perf trajectory. The patterns are disjoint so nothing runs
+# twice.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
 	$(GO) test -bench=BenchmarkServeReads -benchmem -run=^$$ -json . > BENCH_PR3.json
 	$(GO) test -bench='^Benchmark(ShardedIntegration|DeltaPublish)$$' -benchmem -run=^$$ -json . > BENCH_PR4.json
 	$(GO) test -bench='^Benchmark(StreamingRefresh|ConcurrentAcquire)$$' -benchmem -run=^$$ -json . > BENCH_PR5.json
+	$(GO) test -bench=BenchmarkWatchFanout -benchmem -run=^$$ -json . > BENCH_PR6.json
+
+# loadtest drives the change-feed load harness in its CI smoke shape:
+# 100 concurrent subscribers against 5 seconds of continuous
+# refresh/feedback churn. It exits non-zero if any stream gapped, a
+# draining subscriber was evicted, or nothing was delivered. Longer
+# local sessions: go run ./cmd/watchload -subscribers 5000 -duration 60s.
+loadtest:
+	$(GO) run ./cmd/watchload -smoke
 
 # fuzz runs the equivalence fuzzers briefly — the same smokes CI runs:
-# the sharded-resolve identity and the end-to-end streaming-refresh
-# identity. Longer local sessions: go test -fuzz=FuzzSharded
-# -fuzztime=5m ./internal/wrangletest (or -fuzz=FuzzStreamingRefresh).
+# the sharded-resolve identity, the end-to-end streaming-refresh
+# identity, and the change-feed resume property (no duplicate,
+# out-of-order or torn deliveries across arbitrary publish/subscribe/
+# drain/cancel interleavings). Longer local sessions: go test
+# -fuzz=FuzzSharded -fuzztime=5m ./internal/wrangletest (or
+# -fuzz=FuzzStreamingRefresh, or -fuzz=FuzzWatchResume ./internal/serve).
 fuzz:
 	$(GO) test -fuzz=FuzzSharded -fuzztime=10s -run=^$$ ./internal/wrangletest
 	$(GO) test -fuzz=FuzzStreamingRefresh -fuzztime=10s -run=^$$ ./internal/wrangletest
+	$(GO) test -fuzz=FuzzWatchResume -fuzztime=10s -run=^$$ ./internal/serve

@@ -7,8 +7,12 @@ package repro
 // number alongside ns/op.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -308,7 +312,7 @@ func BenchmarkDeltaPublish(b *testing.B) {
 		store := serve.NewStore[*dataset.Table](4)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			store.Publish(base.Clone(), uint64(i), serve.OriginRefresh, time.Time{})
+			store.Publish(base.Clone(), uint64(i), serve.OriginRefresh, time.Time{}, serve.ChangeSet{Full: true})
 		}
 	})
 	b.Run("delta-1-of-8", func(b *testing.B) {
@@ -325,7 +329,7 @@ func BenchmarkDeltaPublish(b *testing.B) {
 				}
 				next.Append(rec) // untouched shards: pointer-shared storage
 			}
-			store.Publish(next, uint64(i), serve.OriginRefresh, time.Time{})
+			store.Publish(next, uint64(i), serve.OriginRefresh, time.Time{}, serve.ChangeSet{ChangedShards: []int{dirty}, ChangedPages: 1, SharedPages: pages - 1})
 		}
 	})
 }
@@ -431,4 +435,170 @@ func BenchmarkConcurrentAcquire(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWatchFanout is the PR-6 headline: one publisher pushing
+// versions through the change feed to 1/64/1024 concurrent subscribers,
+// with the payload either a full copy (every record re-sent) or a
+// 1-of-8-shards delta (changed page inlined, shared pages elided — the
+// shape /watch serves). Three numbers matter and are reported as custom
+// metrics per sub-benchmark:
+//
+//   - p50/p95/p99_us: publish-to-delivery latency per subscriber event.
+//   - frame_bytes: the serialised per-version frame one subscriber
+//     downloads — on delta payloads it scales with the changed shard,
+//     not the table.
+//   - evictions: must be 0. The publisher paces itself against the
+//     slowest subscriber (staying well inside the watch buffer), so a
+//     non-zero count means delivery lost its non-blocking guarantee.
+//
+// Publish itself never blocks on subscribers by construction; the pacing
+// barrier below is the benchmark keeping drain goroutines inside the
+// bounded buffer so every delivery is measured, not evicted. `make
+// bench` records this table to BENCH_PR6.json.
+func BenchmarkWatchFanout(b *testing.B) {
+	const rows, pages = 1024, 8
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "sku", Kind: dataset.KindString},
+		dataset.Field{Name: "name", Kind: dataset.KindString},
+		dataset.Field{Name: "brand", Kind: dataset.KindString},
+		dataset.Field{Name: "price", Kind: dataset.KindFloat},
+		dataset.Field{Name: "rating", Kind: dataset.KindFloat},
+	)
+	base := dataset.NewTable(schema)
+	for i := 0; i < rows; i++ {
+		base.AppendValues(
+			dataset.String(fmt.Sprintf("SKU-%05d", i)),
+			dataset.String(fmt.Sprintf("Product %d deluxe edition", i)),
+			dataset.String("BrandCo"),
+			dataset.Float(float64(i)*1.5),
+			dataset.Float(4.2),
+		)
+	}
+	pageLen := rows / pages
+	for _, subs := range []int{1, 64, 1024} {
+		for _, payload := range []string{"full", "delta-1-of-8"} {
+			b.Run(fmt.Sprintf("subscribers=%d/%s", subs, payload), func(b *testing.B) {
+				store := serve.NewStore[*dataset.Table](4)
+				store.SetWatchBuffer(256)
+
+				// The frame one subscriber downloads per version: the
+				// changed rows (all of them on full payloads) as JSON.
+				// Constant across iterations, so computed outside the loop.
+				frameRows := rows
+				if payload != "full" {
+					frameRows = pageLen
+				}
+				frame := dataset.NewTable(schema)
+				for r := 0; r < frameRows; r++ {
+					frame.Append(base.Row(r))
+				}
+				var buf bytes.Buffer
+				if err := dataset.WriteJSON(&buf, frame); err != nil {
+					b.Fatal(err)
+				}
+				frameBytes := buf.Len()
+
+				var (
+					wg        sync.WaitGroup
+					evictions atomic.Int64
+					progress  = make([]atomic.Uint64, subs) // last seq each subscriber processed
+				)
+				latencies := make([][]float64, subs)
+				target := uint64(b.N)
+				for i := 0; i < subs; i++ {
+					ch, cancel, err := store.Watch(context.Background(), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func(id int, ch <-chan serve.Change[*dataset.Table], cancel serve.CancelFunc) {
+						defer wg.Done()
+						defer cancel()
+						for c := range ch {
+							if c.Evicted {
+								evictions.Add(1)
+								return
+							}
+							latencies[id] = append(latencies[id], float64(time.Since(c.Version.At()).Microseconds()))
+							progress[id].Store(c.Seq())
+							if c.Seq() >= target {
+								return
+							}
+						}
+					}(i, ch, cancel)
+				}
+
+				b.ResetTimer()
+				for i := 1; i <= b.N; i++ {
+					var next *dataset.Table
+					var cs serve.ChangeSet
+					if payload == "full" {
+						next = base.Clone()
+						cs = serve.ChangeSet{Full: true}
+					} else {
+						dirty := i % pages
+						next = dataset.NewTable(base.Schema().Clone())
+						for r := 0; r < rows; r++ {
+							rec := base.Row(r)
+							if r/pageLen == dirty {
+								rec = rec.Clone()
+							}
+							next.Append(rec)
+						}
+						cs = serve.ChangeSet{ChangedShards: []int{dirty}, ChangedPages: 1, SharedPages: pages - 1}
+					}
+					store.Publish(next, uint64(i), serve.OriginRefresh, time.Now(), cs)
+					// Pace against the slowest subscriber every 64 versions:
+					// max gap 64+128 < the 256 buffer, so nobody is evicted
+					// and every delivery is measured.
+					if i%64 == 0 {
+						floor := uint64(0)
+						if i > 128 {
+							floor = uint64(i - 128)
+						}
+						for {
+							slowest := uint64(math.MaxUint64)
+							for s := range progress {
+								if got := progress[s].Load(); got < slowest {
+									slowest = got
+								}
+							}
+							if slowest >= floor {
+								break
+							}
+							runtime.Gosched()
+						}
+					}
+				}
+				wg.Wait()
+				b.StopTimer()
+
+				if n := evictions.Load(); n != 0 {
+					b.Fatalf("%d subscribers evicted — delivery fell out of the bounded buffer", n)
+				}
+				var all []float64
+				for _, l := range latencies {
+					all = append(all, l...)
+				}
+				b.ReportMetric(quantile(all, 0.50), "p50_us")
+				b.ReportMetric(quantile(all, 0.95), "p95_us")
+				b.ReportMetric(quantile(all, 0.99), "p99_us")
+				b.ReportMetric(float64(frameBytes), "frame_bytes")
+				b.ReportMetric(0, "evictions")
+			})
+		}
+	}
+}
+
+// quantile returns the q-th quantile of xs (nearest-rank on a sorted
+// copy); 0 for an empty sample.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
 }

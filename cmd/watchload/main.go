@@ -1,0 +1,300 @@
+// Command watchload is the change-feed load harness: it stands up a
+// synthetic wrangling session, subscribes N concurrent watchers through
+// Session.Watch, and drives continuous churn — alternating source
+// refreshes and value feedback — for a fixed duration, measuring what the
+// subscribers actually observe:
+//
+//   - publish-to-delivery latency (p50/p95/p99) across every delivery,
+//   - bytes per subscriber, serialised the way /watch frames are
+//     (changed records only; shared pages elided),
+//   - stream integrity: every watcher's feed must be gapless and
+//     strictly monotonic until it ends or is explicitly evicted,
+//   - eviction count: slow consumers must be cut loose deterministically
+//     rather than ever blocking a publish.
+//
+// Usage:
+//
+//	watchload [-subscribers N] [-duration d] [-seed N] [-sources N]
+//	          [-shards N] [-buffer N] [-retain N] [-churn f] [-smoke]
+//
+// -smoke runs the CI configuration (100 subscribers, 5s) and exits
+// non-zero if any stream gapped, nobody received anything, or a draining
+// subscriber was evicted — the wired-into-make loadtest gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/wrangle"
+	"repro/wrangle/synth"
+)
+
+func main() {
+	subscribers := flag.Int("subscribers", 1000, "concurrent watch subscribers")
+	duration := flag.Duration("duration", 30*time.Second, "how long to drive churn")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	nSources := flag.Int("sources", 8, "synthetic sources")
+	shards := flag.Int("shards", 4, "integration shards (delta publication)")
+	buffer := flag.Int("buffer", 64, "per-subscriber watch buffer")
+	retain := flag.Int("retain", 8, "snapshot versions to retain")
+	churn := flag.Float64("churn", 0.05, "world churn per refresh tick")
+	smoke := flag.Bool("smoke", false, "CI smoke: 100 subscribers for 5s, strict exit code")
+	flag.Parse()
+	if *smoke {
+		*subscribers, *duration = 100, 5*time.Second
+	}
+	if err := run(*subscribers, *duration, *seed, *nSources, *shards, *buffer, *retain, *churn, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "watchload:", err)
+		os.Exit(1)
+	}
+}
+
+// subscriberStats is what one watcher observed over its stream.
+type subscriberStats struct {
+	delivered int
+	gaps      int
+	evicted   bool
+	latencyUS []float64
+	lastSeen  uint64
+}
+
+func run(subscribers int, duration time.Duration, seed int64, nSources, shards, buffer, retain int, churn float64, strict bool) error {
+	world := synth.NewWorld(seed, 200, 0)
+	for i := 0; i < 12; i++ {
+		world.Evolve(0.15)
+	}
+	u := synth.Generate(world, synth.DefaultConfig(seed, nSources))
+	s, err := wrangle.New(
+		wrangle.WithProvider(u),
+		wrangle.WithIntegrationShards(shards),
+		wrangle.WithStreamingRefresh(),
+		wrangle.WithRetainVersions(retain),
+		wrangle.WithWatchBuffer(buffer),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := s.Run(context.Background()); err != nil {
+		return err
+	}
+	first, err := s.View()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session up in %s: %d sources, %d shards, %d rows, retain %d, buffer %d\n",
+		time.Since(start).Round(time.Millisecond), nSources, shards, first.Table().Len(), retain, buffer)
+
+	// Subscribers: each drains its own feed, asserting order and
+	// measuring publish→delivery latency from the version's commit stamp.
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	stats := make([]subscriberStats, subscribers)
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		ch, cancel, err := s.Watch(ctx, first.Version())
+		if err != nil {
+			return fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		wg.Add(1)
+		go func(st *subscriberStats, ch <-chan wrangle.Change, cancel wrangle.CancelFunc) {
+			defer wg.Done()
+			defer cancel()
+			last := first.Version()
+			for c := range ch {
+				if c.Evicted {
+					st.evicted = true
+					return
+				}
+				if c.Version() != last+1 {
+					st.gaps++
+				}
+				last = c.Version()
+				st.lastSeen = last
+				st.delivered++
+				st.latencyUS = append(st.latencyUS, float64(time.Since(c.View.PublishedAt()).Microseconds()))
+			}
+		}(&stats[i], ch, cancel)
+	}
+
+	// The meter: one extra subscription that serialises every version's
+	// frame the way /watch does — changed records inlined, shared pages
+	// elided — so bytes/subscriber reflects the wire, not the table.
+	var frameBytes atomic.Int64
+	meterCh, meterCancel, err := s.Watch(ctx, first.Version())
+	if err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer meterCancel()
+		for c := range meterCh {
+			if c.Evicted {
+				return
+			}
+			frameBytes.Add(int64(frameSize(c)))
+		}
+	}()
+
+	// The writer: churn the world and alternate refresh (one source,
+	// round-robin) with value feedback, as fast as reactions complete.
+	deadline := time.Now().Add(duration)
+	publishes, feedbacks := 0, 0
+	ids := s.SelectedSources()
+	rep := s.Report("load", "price")
+	var lines []wrangle.ReportLine
+	for _, l := range rep.Lines {
+		if len(l.Supporters) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	for tick := 0; time.Now().Before(deadline); tick++ {
+		if tick%4 == 3 && len(lines) > 0 {
+			l := lines[tick%len(lines)]
+			if _, err := s.ApplyFeedback(ctx, wrangle.Feedback{
+				Kind: wrangle.ValueIncorrect, SourceID: l.Supporters[0],
+				Entity: l.Entity, Attribute: l.Attribute, Cost: 0.1,
+			}); err != nil {
+				return fmt.Errorf("feedback reaction: %w", err)
+			}
+			feedbacks++
+		} else {
+			u.World.Evolve(churn)
+			if _, err := s.Refresh(ctx, ids[tick%len(ids)]); err != nil {
+				return fmt.Errorf("refresh reaction: %w", err)
+			}
+		}
+		publishes++
+	}
+	elapsed := time.Since(deadline.Add(-duration))
+
+	// Let live streams drain the tail, then detach everyone.
+	time.Sleep(200 * time.Millisecond)
+	stop()
+	wg.Wait()
+
+	final, _ := s.View()
+	delivered, gaps, evictions, caughtUp := 0, 0, 0, 0
+	var all []float64
+	for i := range stats {
+		delivered += stats[i].delivered
+		gaps += stats[i].gaps
+		if stats[i].evicted {
+			evictions++
+		}
+		if stats[i].lastSeen == final.Version() {
+			caughtUp++
+		}
+		all = append(all, stats[i].latencyUS...)
+	}
+
+	fmt.Printf("\n%d reactions in %s (%d refresh, %d feedback) → versions %d..%d\n",
+		publishes, elapsed.Round(time.Millisecond), publishes-feedbacks, feedbacks, first.Version()+1, final.Version())
+	fmt.Printf("subscribers: %d   delivered: %d events (%.0f/s)   caught up at end: %d\n",
+		subscribers, delivered, float64(delivered)/elapsed.Seconds(), caughtUp)
+	fmt.Printf("latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		quantile(all, 0.50)/1000, quantile(all, 0.95)/1000, quantile(all, 0.99)/1000)
+	fmt.Printf("bytes/subscriber: %s over %d versions (delta frames; shared pages elided)\n",
+		sizeof(frameBytes.Load()), final.Version()-first.Version())
+	fmt.Printf("gaps: %d   evictions: %d   watchers left: %d\n", gaps, evictions, s.Watchers())
+
+	// Machine-readable tail line for harnesses scraping the run.
+	summary, _ := json.Marshal(map[string]any{
+		"subscribers": subscribers, "publishes": publishes, "delivered": delivered,
+		"p50_us": quantile(all, 0.50), "p95_us": quantile(all, 0.95), "p99_us": quantile(all, 0.99),
+		"bytesPerSubscriber": frameBytes.Load(), "gaps": gaps, "evictions": evictions,
+	})
+	fmt.Printf("summary: %s\n", summary)
+
+	if gaps > 0 {
+		return fmt.Errorf("%d subscribers observed gapped streams", gaps)
+	}
+	if leftover := s.Watchers(); leftover != 0 {
+		return fmt.Errorf("%d watchers leaked after cancellation", leftover)
+	}
+	if strict {
+		if publishes < 2 || delivered == 0 {
+			return fmt.Errorf("smoke made no progress (%d publishes, %d deliveries)", publishes, delivered)
+		}
+		if evictions > 0 {
+			return fmt.Errorf("smoke evicted %d draining subscribers", evictions)
+		}
+	}
+	return nil
+}
+
+// frameSize measures one change as a /watch-shaped frame: the changed
+// records' rows (all rows when the change is Full) plus the metadata.
+func frameSize(c wrangle.Change) int {
+	t, ents := c.View.Table(), c.View.Entities()
+	names := t.Schema().Names()
+	rows := map[string]map[string]any{}
+	add := func(i int, e string) {
+		o := make(map[string]any, len(names))
+		for j, val := range t.Row(i) {
+			if val.IsNull() {
+				continue
+			}
+			switch val.Kind() {
+			case wrangle.KindInt:
+				o[names[j]] = val.IntVal()
+			case wrangle.KindFloat:
+				o[names[j]] = val.FloatVal()
+			case wrangle.KindBool:
+				o[names[j]] = val.BoolVal()
+			default:
+				o[names[j]] = val.String()
+			}
+		}
+		rows[e] = o
+	}
+	if c.Changes.Full {
+		for i, e := range ents {
+			add(i, e)
+		}
+	} else {
+		for _, e := range c.Changes.ChangedRecords {
+			if i := sort.SearchStrings(ents, e); i < len(ents) && ents[i] == e {
+				add(i, e)
+			}
+		}
+	}
+	payload, _ := json.Marshal(map[string]any{
+		"version": c.Version(), "full": c.Changes.Full,
+		"changedShards": c.Changes.ChangedShards, "changedPages": c.Changes.ChangedPages,
+		"sharedPages": c.Changes.SharedPages, "removedRecords": c.Changes.RemovedRecords,
+		"rows": rows,
+	})
+	return len(payload)
+}
+
+// quantile returns the q-th quantile (nearest rank) of xs; 0 when empty.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)-1))]
+}
+
+// sizeof renders a byte count human-readably.
+func sizeof(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/wrangle"
+)
+
+// newTestTier builds a small sharded session, runs it, and wraps the
+// production handler in an httptest server — the exact mux runServe uses,
+// minus listener, signals and the background refresher.
+func newTestTier(t *testing.T, opts ...wrangle.Option) (*wrangle.Session, *serveState, *httptest.Server) {
+	t.Helper()
+	s, err := wrangle.New(append([]wrangle.Option{
+		wrangle.WithSeed(6),
+		wrangle.WithSyntheticSources(4),
+		wrangle.WithIntegrationShards(2),
+		wrangle.WithRetainVersions(2),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := newServeState(s)
+	ts := httptest.NewServer(st.handler())
+	t.Cleanup(ts.Close)
+	return s, st, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("GET %s Content-Type = %q, want application/json", url, ct)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return body
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, ts := newTestTier(t)
+	body := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Errorf("status = %v, want ok", body["status"])
+	}
+	if v, _ := body["version"].(float64); v != 1 {
+		t.Errorf("version = %v, want 1", body["version"])
+	}
+	if _, ok := body["uptimeSeconds"].(float64); !ok {
+		t.Errorf("uptimeSeconds missing: %v", body)
+	}
+}
+
+func TestUnknownPathIsJSON404(t *testing.T) {
+	_, _, ts := newTestTier(t)
+	for _, path := range []string{"/", "/nope", "/table/extra"} {
+		body := getJSON(t, ts.URL+path, http.StatusNotFound)
+		if body["error"] == nil {
+			t.Errorf("%s: 404 body has no error field: %v", path, body)
+		}
+		if body["endpoints"] == nil {
+			t.Errorf("%s: 404 body should advertise the endpoints", path)
+		}
+	}
+}
+
+// sseEvent is one parsed frame of a /watch stream.
+type sseEvent struct {
+	id, event string
+	data      map[string]any
+	comment   string // set for ": ..." heartbeat/drain frames
+}
+
+// readSSE parses the next server-sent event (or comment) off the stream.
+func readSSE(t *testing.T, br *bufio.Reader) sseEvent {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v (got so far: %+v)", err, ev)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.id != "" || ev.event != "" || ev.comment != "" {
+				return ev
+			}
+			// Leading blank line: keep reading.
+		case strings.HasPrefix(line, ": "):
+			ev.comment = strings.TrimPrefix(line, ": ")
+		case strings.HasPrefix(line, "id: "):
+			ev.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			ev.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		}
+	}
+}
+
+func openWatch(t *testing.T, url string) (*bufio.Reader, func()) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// TestWatchStreamsDeltas drives the full push path: the default stream
+// opens with the current version as a full-state anchor, then a refresh
+// arrives as a delta frame whose rows cover only the changed records.
+func TestWatchStreamsDeltas(t *testing.T) {
+	s, _, ts := newTestTier(t)
+	br, done := openWatch(t, ts.URL+"/watch")
+	defer done()
+
+	first := readSSE(t, br)
+	if first.event != "change" || first.id != "1" {
+		t.Fatalf("opening frame = %s/%s, want change/1", first.event, first.id)
+	}
+	if first.data["full"] != true {
+		t.Errorf("opening frame should be full (first publication): %v", first.data["full"])
+	}
+	rows, _ := first.data["rows"].(map[string]any)
+	if len(rows) == 0 {
+		t.Fatal("opening full frame carries no rows")
+	}
+
+	if _, err := s.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second := readSSE(t, br)
+	for second.comment != "" { // skip any heartbeat
+		second = readSSE(t, br)
+	}
+	if second.event != "change" || second.id != "2" {
+		t.Fatalf("second frame = %s/%s, want change/2", second.event, second.id)
+	}
+	if second.data["full"] == true {
+		t.Error("sharded refresh should publish a delta frame, not full")
+	}
+	// Page accounting covers both shards; rows list only changed records.
+	cp, _ := second.data["changedPages"].(float64)
+	sp, _ := second.data["sharedPages"].(float64)
+	if int(cp+sp) != 2 {
+		t.Errorf("changedPages %v + sharedPages %v, want 2 shards total", cp, sp)
+	}
+	deltaRows, _ := second.data["rows"].(map[string]any)
+	if len(deltaRows) > len(rows) {
+		t.Errorf("delta frame carries %d rows, full state is %d", len(deltaRows), len(rows))
+	}
+}
+
+// TestWatchResumeAndGone pins the HTTP mapping of the retention boundary:
+// resuming inside the window replays the missed versions; resuming below
+// it is 410 Gone; a malformed resume point is 400.
+func TestWatchResumeAndGone(t *testing.T) {
+	s, _, ts := newTestTier(t) // retain 2
+	for i := 0; i < 3; i++ {   // versions 2..4; retained [3 4]
+		if _, err := s.Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	br, done := openWatch(t, ts.URL+"/watch?from=2")
+	defer done()
+	if ev := readSSE(t, br); ev.id != "3" {
+		t.Errorf("resume from 2: first frame id %s, want 3", ev.id)
+	}
+	if ev := readSSE(t, br); ev.id != "4" {
+		t.Errorf("resume from 2: second frame id %s, want 4", ev.id)
+	}
+
+	body := getJSON(t, ts.URL+"/watch?from=1", http.StatusGone)
+	if body["error"] == nil {
+		t.Error("410 body should carry an error")
+	}
+	getJSON(t, ts.URL+"/watch?from=bogus", http.StatusBadRequest)
+	// ?version=N readers report the same staleness the same way.
+	getJSON(t, ts.URL+"/table?version=1", http.StatusGone)
+	getJSON(t, ts.URL+"/table?version=99", http.StatusNotFound)
+}
+
+// TestWatchHeartbeat shrinks the heartbeat and expects ping comments on
+// an otherwise idle stream.
+func TestWatchHeartbeat(t *testing.T) {
+	_, st, ts := newTestTier(t)
+	st.heartbeat = 20 * time.Millisecond
+	br, done := openWatch(t, ts.URL+"/watch")
+	defer done()
+	readSSE(t, br) // opening frame
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat observed")
+		}
+		if ev := readSSE(t, br); ev.comment == "ping" {
+			return
+		}
+	}
+}
+
+// TestWatchDrainOnShutdown proves closing the drain channel (what SIGINT
+// does) ends every open stream with a shutdown comment instead of
+// holding Shutdown hostage.
+func TestWatchDrainOnShutdown(t *testing.T) {
+	s, st, ts := newTestTier(t)
+	br, done := openWatch(t, ts.URL+"/watch")
+	defer done()
+	readSSE(t, br) // opening frame
+	close(st.drain)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not drain")
+		}
+		ev := readSSE(t, br)
+		if ev.comment == "shutting down" {
+			break
+		}
+	}
+	// The server closed its end; the subscription must be released.
+	for i := 0; i < 100 && s.Watchers() != 0; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := s.Watchers(); n != 0 {
+		t.Errorf("Watchers after drain = %d, want 0", n)
+	}
+}

@@ -175,6 +175,8 @@ type Wrangler struct {
 	trust        map[string]float64
 	pages        []*shardPage   // sharded tail only: per-shard fused output, immutable once built
 	entityShard  map[string]int // sharded tail only: entity -> owning shard of the last integration
+	rowEntities  []string       // per wrangled-table row: its entity id (rows are entity-sorted)
+	lastChange   serve.ChangeSet // what the last tail changed vs its predecessor; published with the version
 	repairedRows []int          // union rows FD repair touched in the last buildUnion
 	memo         *tailMemo      // streaming sessions: the last integrated tail, diffable
 	dirtySources map[string]bool // sources whose state changed since the memoized tail
@@ -652,6 +654,10 @@ func (w *Wrangler) buildUnion() (empty bool, err error) {
 		w.supporters = nil
 		w.pages = nil
 		w.entityShard = nil
+		w.rowEntities = nil
+		// An emptied result cannot bound its delta against the
+		// predecessor; watchers treat it as a full change.
+		w.lastChange = serve.ChangeSet{Full: true}
 		w.memo = nil // nothing integrated: nothing for a streaming tail to diff against
 		return true, nil
 	}
@@ -779,12 +785,16 @@ func (w *Wrangler) fuse() error {
 	w.entityShard = nil
 
 	// Materialise the wrangled table: one row per entity.
-	_, rows := materialize(w.results, w.Config.Target)
+	entities, rows := materialize(w.results, w.Config.Target)
 	out := dataset.NewTable(w.Config.Target.Clone())
 	for _, r := range rows {
 		out.Append(r)
 	}
 	w.wrangled = out
+	w.rowEntities = entities
+	// The sequential tail has no page bookkeeping to bound its delta:
+	// every publication is "everything changed" to a watcher.
+	w.lastChange = serve.ChangeSet{Full: true}
 	w.LastStats.RowsWrangled = out.Len()
 	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
 		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, opts.Policy.String())

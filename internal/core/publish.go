@@ -45,6 +45,12 @@ type Published struct {
 	Sources map[string]SourceReport
 	// Selected is the sorted list of source ids integrated into Table.
 	Selected []string
+	// Entities holds, for each Table row, the entity id that row
+	// describes, aligned by index. Rows are entity-sorted, so a
+	// change-feed consumer can binary-search an entity id from a
+	// version's ChangedRecords straight to its row. Nil when the
+	// pipeline did not track entity ids (empty output).
+	Entities []string
 }
 
 // VersionStore is the concrete serve store a wrangler publishes into.
@@ -77,8 +83,9 @@ func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
 		Trust:    maps.Clone(w.trust),
 		Sources:  w.Snapshot(),
 		Selected: w.selectedIDs(),
+		Entities: append([]string(nil), w.rowEntities...),
 	}
-	w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now())
+	w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now(), w.lastChange)
 }
 
 // publishTable hands the next version its table. The sequential tail

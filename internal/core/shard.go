@@ -10,6 +10,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/fusion"
 	"repro/internal/provenance"
+	"repro/internal/serve"
 )
 
 // This file is the sharded integration tail: the select → integrate →
@@ -336,13 +337,19 @@ func (w *Wrangler) shardMergeStage(sr *shardRun) error {
 	// the shard fused to identical rows. Results stay fresh (confidences
 	// and trust may drift even when every winning value held), so only
 	// the record storage — what publication would otherwise deep-copy —
-	// is shared.
+	// is shared. The same pass computes the version's ChangeSet: which
+	// shards rebuilt, and which records within them actually moved —
+	// the summary watchers receive so their per-version payload is
+	// O(delta), not O(table).
+	shared := make([]bool, len(sr.pages))
 	for i := range sr.pages {
 		if i < len(w.pages) && sr.pages[i].rowsEqual(w.pages[i]) {
 			sr.pages[i].entities = w.pages[i].entities
 			sr.pages[i].rows = w.pages[i].rows
+			shared[i] = true
 		}
 	}
+	w.lastChange = changeSet(w.pages, sr.pages, shared)
 	w.pages = sr.pages
 
 	// Stable merge: entities are disjoint across shards, so sorting the
@@ -360,10 +367,13 @@ func (w *Wrangler) shardMergeStage(sr *shardRun) error {
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].entity < all[b].entity })
 	out := dataset.NewTable(w.Config.Target.Clone())
-	for _, e := range all {
+	entities := make([]string, len(all))
+	for i, e := range all {
 		out.Append(e.row)
+		entities[i] = e.entity
 	}
 	w.wrangled = out
+	w.rowEntities = entities
 	w.LastStats.RowsWrangled = out.Len()
 	w.Prov.Put(provenance.Ref{Kind: provenance.KindFusion, ID: "wrangled"},
 		"fusion.Fuse", []provenance.Ref{{Kind: provenance.KindCluster, ID: "union"}}, sr.opts.Policy.String())
@@ -371,6 +381,77 @@ func (w *Wrangler) shardMergeStage(sr *shardRun) error {
 		w.recordTailMemo(sr)
 	}
 	return nil
+}
+
+// changeSet summarises what the freshly merged pages changed against the
+// previous integration — the per-version delta the change feed pushes to
+// watchers. Shards whose pages were adopted by reference contribute
+// nothing; rebuilt shards are diffed record by record (pages keep their
+// entities sorted, so each diff is one linear merge walk over the two
+// pages — O(changed pages), never O(table)). Without a previous
+// integration to diff against the whole version is a full change.
+func changeSet(prev, cur []*shardPage, shared []bool) serve.ChangeSet {
+	if len(prev) == 0 || len(prev) != len(cur) {
+		return serve.ChangeSet{Full: true}
+	}
+	cs := serve.ChangeSet{}
+	changed := map[string]bool{}
+	removed := map[string]bool{}
+	for i := range cur {
+		if shared[i] {
+			cs.SharedPages++
+			continue
+		}
+		cs.ChangedPages++
+		cs.ChangedShards = append(cs.ChangedShards, i)
+		diffPage(prev[i], cur[i], changed, removed)
+	}
+	for e := range changed {
+		// An entity routed to a new owner shard is removed from one page
+		// and (re)appears in another: that is a change, not a removal.
+		delete(removed, e)
+		cs.ChangedRecords = append(cs.ChangedRecords, e)
+	}
+	for e := range removed {
+		cs.RemovedRecords = append(cs.RemovedRecords, e)
+	}
+	// Publish sorts the slices (ChangeSet normalization); no need here.
+	return cs
+}
+
+// diffPage walks two entity-sorted pages in one merge pass, recording the
+// entities the new page added or rewrote and the ones it dropped.
+func diffPage(prev, cur *shardPage, changed, removed map[string]bool) {
+	i, j := 0, 0
+	var np, nc int
+	if prev != nil {
+		np = len(prev.entities)
+	}
+	if cur != nil {
+		nc = len(cur.entities)
+	}
+	for i < np || j < nc {
+		switch {
+		case i >= np:
+			changed[cur.entities[j]] = true
+			j++
+		case j >= nc:
+			removed[prev.entities[i]] = true
+			i++
+		case prev.entities[i] == cur.entities[j]:
+			if !prev.rows[i].Equal(cur.rows[j]) {
+				changed[cur.entities[j]] = true
+			}
+			i++
+			j++
+		case prev.entities[i] < cur.entities[j]:
+			removed[prev.entities[i]] = true
+			i++
+		default:
+			changed[cur.entities[j]] = true
+			j++
+		}
+	}
 }
 
 // rowKey is THE "source#idxInSource" row identifier format — feedback

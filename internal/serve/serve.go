@@ -48,11 +48,12 @@ const DefaultRetain = 4
 // mutated after Publish returns — readers on any goroutine may hold one
 // indefinitely without synchronisation.
 type Version[T any] struct {
-	seq    uint64
-	step   uint64
-	origin Origin
-	at     time.Time
-	data   T
+	seq     uint64
+	step    uint64
+	origin  Origin
+	at      time.Time
+	data    T
+	changes ChangeSet
 }
 
 // Seq returns the version's monotonically increasing sequence number
@@ -74,6 +75,11 @@ func (v *Version[T]) At() time.Time { return v.at }
 // reachable from it is frozen at publish time; treat it as read-only.
 func (v *Version[T]) Data() T { return v.data }
 
+// Changes returns the publisher's summary of what this version changed
+// relative to its predecessor — retained so change-feed catch-up replays
+// the same O(delta) events a live watcher saw.
+func (v *Version[T]) Changes() ChangeSet { return v.changes }
+
 // Store is a versioned copy-on-write snapshot store. One writer at a
 // time publishes (publishers serialise on an internal mutex, but the
 // pipeline already computes the payload before calling Publish, so the
@@ -82,10 +88,16 @@ func (v *Version[T]) Data() T { return v.data }
 type Store[T any] struct {
 	latest atomic.Pointer[Version[T]]
 
-	mu      sync.RWMutex // guards history and seq; never held by Latest
+	mu      sync.RWMutex // guards history, seq and the watch registry; never held by Latest
 	history []*Version[T]
 	seq     uint64
 	retain  int
+
+	// Change-feed state (watch.go): live subscriptions, the id counter
+	// that orders them, and the per-subscriber buffer bound.
+	watchers []*watcher[T]
+	watchSeq uint64
+	watchBuf int
 }
 
 // NewStore creates a store retaining the given number of versions.
@@ -100,11 +112,16 @@ func NewStore[T any](retain int) *Store[T] {
 // Publish commits data as the next version and returns it. The new
 // version becomes visible to Latest atomically: a reader sees either the
 // previous version or the new one, never a mixture. The oldest retained
-// version beyond the retention bound is dropped.
-func (s *Store[T]) Publish(data T, step uint64, origin Origin, at time.Time) *Version[T] {
+// version beyond the retention bound is dropped. changes is the
+// publisher's summary of what this version changed relative to its
+// predecessor (set Full when the publisher cannot bound the delta); it
+// is stamped onto the version and pushed to every watcher (watch.go) —
+// deliveries never block, slow subscribers are evicted.
+func (s *Store[T]) Publish(data T, step uint64, origin Origin, at time.Time, changes ChangeSet) *Version[T] {
+	changes.normalize()
 	s.mu.Lock()
 	s.seq++
-	v := &Version[T]{seq: s.seq, step: step, origin: origin, at: at, data: data}
+	v := &Version[T]{seq: s.seq, step: step, origin: origin, at: at, data: data, changes: changes}
 	s.history = append(s.history, v)
 	if len(s.history) > s.retain {
 		// Drop in place so the backing array does not grow without bound.
@@ -119,6 +136,7 @@ func (s *Store[T]) Publish(data T, step uint64, origin Origin, at time.Time) *Ve
 	// never touches the read path. The single atomic store is the entire
 	// commit point: a reader sees the version fully built or not at all.
 	s.latest.Store(v)
+	s.notifyWatchers(v)
 	s.mu.Unlock()
 	return v
 }
@@ -129,8 +147,10 @@ func (s *Store[T]) Publish(data T, step uint64, origin Origin, at time.Time) *Ve
 func (s *Store[T]) Latest() *Version[T] { return s.latest.Load() }
 
 // At returns the retained version with the given sequence number. It
-// reports an error for sequence numbers never published or already
-// pruned from the retention window.
+// reports a plain error for sequence numbers never published, and the
+// typed ErrCompacted for versions already pruned from the retention
+// window — the same error Watch reports when catch-up would need a
+// pruned version, so callers handle both staleness paths uniformly.
 func (s *Store[T]) At(seq uint64) (*Version[T], error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -142,7 +162,7 @@ func (s *Store[T]) At(seq uint64) (*Version[T], error) {
 	if seq == 0 || seq > s.seq {
 		return nil, fmt.Errorf("serve: version %d does not exist (latest is %d)", seq, s.seq)
 	}
-	return nil, fmt.Errorf("serve: version %d pruned (retaining %d of %d)", seq, len(s.history), s.seq)
+	return nil, fmt.Errorf("serve: version %d (retaining %d of %d) %w", seq, len(s.history), s.seq, ErrCompacted)
 }
 
 // Versions returns the sequence numbers currently retained, oldest first.

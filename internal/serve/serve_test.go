@@ -20,14 +20,14 @@ func TestPublishLatestAt(t *testing.T) {
 	if _, err := s.At(1); err == nil {
 		t.Fatal("At(1) before any publish should error")
 	}
-	v1 := s.Publish(payload{n: 10, label: "a"}, 7, OriginRun, time.Unix(100, 0))
+	v1 := s.Publish(payload{n: 10, label: "a"}, 7, OriginRun, time.Unix(100, 0), ChangeSet{Full: true})
 	if v1.Seq() != 1 || v1.Step() != 7 || v1.Origin() != OriginRun {
 		t.Fatalf("v1 = seq %d step %d origin %q", v1.Seq(), v1.Step(), v1.Origin())
 	}
 	if got := s.Latest(); got != v1 {
 		t.Fatalf("Latest = %v, want v1", got)
 	}
-	v2 := s.Publish(payload{n: 20, label: "b"}, 9, OriginFeedback, time.Unix(200, 0))
+	v2 := s.Publish(payload{n: 20, label: "b"}, 9, OriginFeedback, time.Unix(200, 0), ChangeSet{})
 	if v2.Seq() != 2 {
 		t.Fatalf("v2.Seq = %d", v2.Seq())
 	}
@@ -48,7 +48,7 @@ func TestPublishLatestAt(t *testing.T) {
 func TestRetentionPrunesOldest(t *testing.T) {
 	s := NewStore[payload](2)
 	for i := 1; i <= 5; i++ {
-		s.Publish(payload{n: i}, uint64(i), OriginRefresh, time.Unix(int64(i), 0))
+		s.Publish(payload{n: i}, uint64(i), OriginRefresh, time.Unix(int64(i), 0), ChangeSet{})
 	}
 	want := []uint64{4, 5}
 	got := s.Versions()
@@ -112,7 +112,7 @@ func TestConcurrentReadersNeverTorn(t *testing.T) {
 		}()
 	}
 	for i := 1; i <= versions; i++ {
-		s.Publish(payload{n: i, label: labels[i%4]}, uint64(i), OriginRun, time.Unix(int64(i), 0))
+		s.Publish(payload{n: i, label: labels[i%4]}, uint64(i), OriginRun, time.Unix(int64(i), 0), ChangeSet{})
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -131,7 +131,7 @@ func TestConcurrentPublishers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				v := s.Publish(i, 0, OriginRefresh, time.Unix(0, 0))
+				v := s.Publish(i, 0, OriginRefresh, time.Unix(0, 0), ChangeSet{})
 				if cur := s.Latest(); cur.Seq() < v.Seq() {
 					t.Errorf("Latest seq %d < just-published %d", cur.Seq(), v.Seq())
 					return

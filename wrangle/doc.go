@@ -32,4 +32,21 @@
 // (only affected artefacts are recomputed), and Refresh reacts to source
 // churn. All lifecycle methods take a context.Context and honour
 // cancellation between pipeline stages.
+//
+// # Serving
+//
+// Every successful Run / ApplyFeedback / Refresh commits an immutable
+// copy-on-write snapshot version. Readers pin one with Session.View —
+// a single atomic load, never blocked by an in-flight reaction — and
+// time-travel within the retention window via View.At
+// (WithRetainVersions bounds it; pruned versions report ErrCompacted).
+//
+// Consumers that follow the output subscribe instead of polling:
+// Session.Watch pushes every committed version as a Change — a View
+// pinned to the version plus a ChangeSet saying exactly which shards
+// and records moved, so per-version cost is O(delta) on sharded
+// sessions. Streams are gapless and monotonic, catch up from any
+// retained version (ErrCompacted below the window), and never block
+// the pipeline: a subscriber that stops draining its bounded buffer
+// (WithWatchBuffer) is evicted with one final Change{Evicted: true}.
 package wrangle

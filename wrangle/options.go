@@ -45,6 +45,8 @@ type settings struct {
 
 	retainVersions int
 
+	watchBuffer int
+
 	seed         int64
 	synthSources int
 }

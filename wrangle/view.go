@@ -95,6 +95,18 @@ func (v *View) Sources() map[string]SourceReport { return v.v.Data().Sources }
 // pinned version's table (read-only).
 func (v *View) Selected() []string { return v.v.Data().Selected }
 
+// Changes returns the publisher's summary of what the pinned version
+// changed relative to its predecessor — the same ChangeSet the change
+// feed (Session.Watch) delivers, retained so a late reader can still
+// see the delta. Full when the session could not bound it.
+func (v *View) Changes() ChangeSet { return v.v.Changes() }
+
+// Entities returns, for each Table row, the entity id that row
+// describes, aligned by index and sorted ascending (rows are
+// entity-sorted) — binary-search an id from Changes().ChangedRecords
+// straight to its row. Read-only; nil for empty outputs.
+func (v *View) Entities() []string { return v.v.Data().Entities }
+
 // At returns a view pinned to the given version number, if it is still
 // inside the store's retention window. Pruned or never-published versions
 // error.

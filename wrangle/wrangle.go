@@ -82,6 +82,9 @@ func New(opts ...Option) (*Session, error) {
 		// store yet.
 		w.Serve = core.NewVersionStore(s.retainVersions)
 	}
+	if s.watchBuffer > 0 {
+		w.Serve.SetWatchBuffer(s.watchBuffer)
+	}
 	return &Session{
 		w:      w,
 		domain: s.domain,
