@@ -28,9 +28,11 @@ race:
 # streaming refresh (full vs dirty-shard partial tail at 1/4/8 shards)
 # plus concurrent source acquisition in BENCH_PR5.json, and the
 # change-feed fan-out (1/64/1024 subscribers, full vs delta frames, with
-# p50/p95/p99 delivery latency and frame bytes) in BENCH_PR6.json — the
-# PR-over-PR perf trajectory. The patterns are disjoint so nothing runs
-# twice.
+# p50/p95/p99 delivery latency and frame bytes) in BENCH_PR6.json, and
+# the durable-log cold-vs-warm start (full pipeline run vs log replay +
+# first one-source reaction over a 24-source universe) in
+# BENCH_PR7.json — the PR-over-PR perf trajectory. The patterns are
+# disjoint so nothing runs twice.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
@@ -38,6 +40,7 @@ bench:
 	$(GO) test -bench='^Benchmark(ShardedIntegration|DeltaPublish)$$' -benchmem -run=^$$ -json . > BENCH_PR4.json
 	$(GO) test -bench='^Benchmark(StreamingRefresh|ConcurrentAcquire)$$' -benchmem -run=^$$ -json . > BENCH_PR5.json
 	$(GO) test -bench=BenchmarkWatchFanout -benchmem -run=^$$ -json . > BENCH_PR6.json
+	$(GO) test -bench=BenchmarkColdVsWarmStart -benchmem -run=^$$ -json . > BENCH_PR7.json
 
 # loadtest drives the change-feed load harness in its CI smoke shape:
 # 100 concurrent subscribers against 5 seconds of continuous
@@ -49,12 +52,16 @@ loadtest:
 
 # fuzz runs the equivalence fuzzers briefly — the same smokes CI runs:
 # the sharded-resolve identity, the end-to-end streaming-refresh
-# identity, and the change-feed resume property (no duplicate,
-# out-of-order or torn deliveries across arbitrary publish/subscribe/
-# drain/cancel interleavings). Longer local sessions: go test
-# -fuzz=FuzzSharded -fuzztime=5m ./internal/wrangletest (or
-# -fuzz=FuzzStreamingRefresh, or -fuzz=FuzzWatchResume ./internal/serve).
+# identity, the change-feed resume property (no duplicate, out-of-order
+# or torn deliveries across arbitrary publish/subscribe/drain/cancel
+# interleavings), and the WAL replay property (arbitrary bytes never
+# panic the reader, corruption is detected, the healed log stays
+# appendable). Longer local sessions: go test -fuzz=FuzzSharded
+# -fuzztime=5m ./internal/wrangletest (or -fuzz=FuzzStreamingRefresh,
+# -fuzz=FuzzWatchResume ./internal/serve, -fuzz=FuzzWALReplay
+# ./internal/wal).
 fuzz:
 	$(GO) test -fuzz=FuzzSharded -fuzztime=10s -run=^$$ ./internal/wrangletest
 	$(GO) test -fuzz=FuzzStreamingRefresh -fuzztime=10s -run=^$$ ./internal/wrangletest
 	$(GO) test -fuzz=FuzzWatchResume -fuzztime=10s -run=^$$ ./internal/serve
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s -run=^$$ ./internal/wal

@@ -25,9 +25,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,11 +51,24 @@ func main() {
 	retain := flag.Int("retain", 8, "snapshot versions to retain")
 	churn := flag.Float64("churn", 0.05, "world churn per refresh tick")
 	smoke := flag.Bool("smoke", false, "CI smoke: 100 subscribers for 5s, strict exit code")
+	stateDir := flag.String("state", "", "durable state directory: log committed versions and write a fingerprint sidecar per publish")
+	verifyState := flag.Bool("verify-state", false, "crash-recovery check: reopen -state, compare against the sidecar, strict exit")
 	flag.Parse()
 	if *smoke {
 		*subscribers, *duration = 100, 5*time.Second
 	}
-	if err := run(*subscribers, *duration, *seed, *nSources, *shards, *buffer, *retain, *churn, *smoke); err != nil {
+	if *verifyState {
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "watchload: -verify-state requires -state")
+			os.Exit(2)
+		}
+		if err := verify(*stateDir, *seed, *nSources, *shards, *buffer, *retain); err != nil {
+			fmt.Fprintln(os.Stderr, "watchload: verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*subscribers, *duration, *seed, *nSources, *shards, *buffer, *retain, *churn, *smoke, *stateDir); err != nil {
 		fmt.Fprintln(os.Stderr, "watchload:", err)
 		os.Exit(1)
 	}
@@ -66,24 +83,31 @@ type subscriberStats struct {
 	lastSeen  uint64
 }
 
-func run(subscribers int, duration time.Duration, seed int64, nSources, shards, buffer, retain int, churn float64, strict bool) error {
+func run(subscribers int, duration time.Duration, seed int64, nSources, shards, buffer, retain int, churn float64, strict bool, stateDir string) error {
 	world := synth.NewWorld(seed, 200, 0)
 	for i := 0; i < 12; i++ {
 		world.Evolve(0.15)
 	}
 	u := synth.Generate(world, synth.DefaultConfig(seed, nSources))
-	s, err := wrangle.New(
+	opts := []wrangle.Option{
 		wrangle.WithProvider(u),
 		wrangle.WithIntegrationShards(shards),
 		wrangle.WithStreamingRefresh(),
 		wrangle.WithRetainVersions(retain),
 		wrangle.WithWatchBuffer(buffer),
-	)
+	}
+	if stateDir != "" {
+		opts = append(opts, wrangle.WithDurableLog(stateDir))
+	}
+	s, err := wrangle.New(opts...)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	start := time.Now()
-	if _, err := s.Run(context.Background()); err != nil {
+	if s.Restored() {
+		fmt.Printf("warm restart from %s\n", stateDir)
+	} else if _, err := s.Run(context.Background()); err != nil {
 		return err
 	}
 	first, err := s.View()
@@ -174,6 +198,17 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 			}
 		}
 		publishes++
+		if stateDir != "" {
+			// The sidecar records what a subscriber could have observed:
+			// (version, table hash) after every publish, renamed into place
+			// atomically so a SIGKILL never leaves a torn fingerprint. The
+			// crash-recovery gate replays the log and compares against it.
+			if v, err := s.View(); err == nil {
+				if err := writeSidecar(stateDir, v); err != nil {
+					return fmt.Errorf("sidecar: %w", err)
+				}
+			}
+		}
 	}
 	elapsed := time.Since(deadline.Add(-duration))
 
@@ -275,6 +310,138 @@ func frameSize(c wrangle.Change) int {
 		"rows": rows,
 	})
 	return len(payload)
+}
+
+// sidecar is the per-publish fingerprint the churn loop drops next to the
+// durable log: the last published version and a hash of its table. It is
+// what the pre-crash process provably committed, so the recovery check
+// has ground truth that does not depend on replaying the log it audits.
+type sidecar struct {
+	Seq  uint64 `json:"seq"`
+	Hash string `json:"hash"`
+}
+
+// writeSidecar writes {seq, hash} for the view atomically (tmp + rename):
+// a SIGKILL at any instant leaves either the old fingerprint or the new
+// one, never a torn file.
+func writeSidecar(dir string, v *wrangle.View) error {
+	buf, err := json.Marshal(sidecar{Seq: v.Version(), Hash: viewHash(v)})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "fingerprint.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "fingerprint.txt"))
+}
+
+// viewHash digests a version's table, row order and entity index — the
+// reader-visible state a restart must reproduce exactly.
+func viewHash(v *wrangle.View) string {
+	h := fnv.New64a()
+	t := v.Table()
+	io.WriteString(h, t.Schema().String())
+	for i := 0; i < t.Len(); i++ {
+		for _, val := range t.Row(i) {
+			io.WriteString(h, val.Key())
+			io.WriteString(h, "|")
+		}
+		io.WriteString(h, "\n")
+	}
+	for _, e := range v.Entities() {
+		io.WriteString(h, e)
+		io.WriteString(h, ",")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// verify is the crash-recovery gate: reopen the state directory a killed
+// churn run left behind and hold it against the sidecar. Strict failures:
+// nothing restored, the log replayed to an older version than the sidecar
+// proves was committed (lost write), or the restored version's hash
+// diverges from what the pre-crash process served (corrupted replay). A
+// restored version newer than the sidecar is fine — the crash landed
+// between a publish and its sidecar rename — but then the sidecar's own
+// version, if still retained, must hash identically. Ends with one live
+// reaction, proving the warm session can keep publishing.
+func verify(dir string, seed int64, nSources, shards, buffer, retain int) error {
+	world := synth.NewWorld(seed, 200, 0)
+	for i := 0; i < 12; i++ {
+		world.Evolve(0.15)
+	}
+	u := synth.Generate(world, synth.DefaultConfig(seed, nSources))
+	s, err := wrangle.New(
+		wrangle.WithProvider(u),
+		wrangle.WithIntegrationShards(shards),
+		wrangle.WithStreamingRefresh(),
+		wrangle.WithRetainVersions(retain),
+		wrangle.WithWatchBuffer(buffer),
+		wrangle.WithDurableLog(dir),
+	)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if !s.Restored() {
+		return fmt.Errorf("state %s did not restore a session (no committed versions replayed)", dir)
+	}
+	v, err := s.View()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored to version %d (%d rows)\n", v.Version(), v.Table().Len())
+
+	buf, err := os.ReadFile(filepath.Join(dir, "fingerprint.txt"))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		fmt.Println("no fingerprint sidecar (killed before the first publish); restore alone verified")
+	case err != nil:
+		return err
+	default:
+		var sc sidecar
+		if err := json.Unmarshal(buf, &sc); err != nil {
+			return fmt.Errorf("sidecar: %w", err)
+		}
+		switch {
+		case v.Version() < sc.Seq:
+			return fmt.Errorf("replay lost committed versions: restored to %d, pre-crash process published %d", v.Version(), sc.Seq)
+		case v.Version() == sc.Seq:
+			if got := viewHash(v); got != sc.Hash {
+				return fmt.Errorf("version %d diverged after restore: hash %s, pre-crash %s", sc.Seq, got, sc.Hash)
+			}
+			fmt.Printf("version %d hash matches the pre-crash sidecar\n", sc.Seq)
+		default:
+			// The kill landed between a publish and its sidecar rename; the
+			// sidecar's version must still hash identically if retained.
+			at, err := v.At(sc.Seq)
+			if err == nil {
+				if got := viewHash(at); got != sc.Hash {
+					return fmt.Errorf("retained version %d diverged after restore: hash %s, pre-crash %s", sc.Seq, got, sc.Hash)
+				}
+				fmt.Printf("restored past the sidecar (%d > %d); retained version still matches\n", v.Version(), sc.Seq)
+			} else {
+				fmt.Printf("restored past the sidecar (%d > %d); sidecar version already out of retention\n", v.Version(), sc.Seq)
+			}
+		}
+	}
+
+	// The warm session must not just read back — it must keep going.
+	ids := s.SelectedSources()
+	if len(ids) == 0 {
+		return fmt.Errorf("restored session selected no sources")
+	}
+	stats, err := s.Refresh(context.Background(), ids[0])
+	if err != nil {
+		return fmt.Errorf("post-restore refresh: %w", err)
+	}
+	v2, err := s.View()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-restore refresh published version %d (shards resolved %d, reused %d)\n",
+		v2.Version(), stats.ShardsResolved, stats.ShardsReused)
+	return nil
 }
 
 // quantile returns the q-th quantile (nearest rank) of xs; 0 when empty.

@@ -45,6 +45,8 @@ func main() {
 	refreshEvery := flag.Duration("refresh-every", 2*time.Second, "background refresh interval for -serve")
 	churn := flag.Float64("churn", 0.1, "world churn rate per background refresh tick for -serve")
 	retain := flag.Int("retain", 0, "snapshot versions to retain (0 = default window)")
+	stateDir := flag.String("state", "", "durable state directory: log committed versions there and warm-restart from it")
+	fsyncAlways := flag.Bool("fsync-always", false, "fsync the durable log on every published version (requires -state)")
 	flag.Parse()
 
 	// Flag combinations are validated before any work: -serve in
@@ -63,6 +65,10 @@ func main() {
 	}
 	if *streaming && *shards < 1 {
 		fmt.Fprintln(os.Stderr, "wrangle: -streaming requires -shards >= 1 (the dirty set is tracked per shard)")
+		os.Exit(2)
+	}
+	if *fsyncAlways && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "wrangle: -fsync-always requires -state")
 		os.Exit(2)
 	}
 	if !*serveMode {
@@ -88,6 +94,12 @@ func main() {
 		}
 	}
 	opts := []wrangle.Option{wrangle.WithSourceBudget(*maxSources)}
+	if *stateDir != "" {
+		opts = append(opts, wrangle.WithDurableLog(*stateDir))
+		if *fsyncAlways {
+			opts = append(opts, wrangle.WithDurableFsync(wrangle.FsyncAlways))
+		}
+	}
 	if *retain >= 1 {
 		opts = append(opts, wrangle.WithRetainVersions(*retain))
 	}
@@ -145,10 +157,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	out, err := s.Run(context.Background())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wrangle:", err)
-		os.Exit(1)
+	defer s.Close()
+	var out *wrangle.Table
+	if s.Restored() {
+		// Warm restart: the state directory held committed versions, so
+		// the session serves and reacts from the restored snapshot — no
+		// cold run needed.
+		out = s.Wrangled()
+		if ds, ok := s.Durability(); ok {
+			fmt.Printf("restored %d version(s) from %s (%d log bytes)\n\n",
+				ds.RetainedVersions, ds.Dir, ds.Bytes)
+		}
+	} else {
+		out, err = s.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wrangle:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("universe: %d sources (%s), world clock %d\n", len(u.Sources), *domain, u.World.Clock)
@@ -216,6 +241,14 @@ func main() {
 	if *serveMode {
 		if err := runServe(s, u, *listen, *refreshEvery, *churn); err != nil {
 			fmt.Fprintln(os.Stderr, "wrangle:", err)
+			os.Exit(1)
+		}
+	}
+	if *stateDir != "" {
+		// Compact the log to the retention window and fsync, so the next
+		// start replays a minimal, fully durable file.
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "wrangle: checkpoint:", err)
 			os.Exit(1)
 		}
 	}

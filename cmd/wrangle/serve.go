@@ -210,18 +210,31 @@ func (st *serveState) handler() http.Handler {
 }
 
 // handleHealthz is the liveness probe: always 200 once the server is up,
-// reporting the latest committed version and how long the tier has been
-// serving. Version 0 means nothing is published yet.
+// reporting the latest committed version, the retention window, watcher
+// count and how long the tier has been serving. Version 0 means nothing
+// is published yet. Durable sessions additionally report their log —
+// directory, size, last checkpointed version — so an operator can see at
+// a glance how much a restart would replay.
 func (st *serveState) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
-		"status":        "ok",
-		"uptimeSeconds": time.Since(st.start).Seconds(),
-		"watchers":      st.s.Watchers(),
-		"version":       uint64(0),
+		"status":         "ok",
+		"uptimeSeconds":  time.Since(st.start).Seconds(),
+		"watchers":       st.s.Watchers(),
+		"version":        uint64(0),
+		"retainVersions": st.s.RetainedVersions(),
 	}
 	if v, err := st.s.View(); err == nil {
 		body["version"] = v.Version()
 		body["publishedAt"] = v.PublishedAt()
+		body["retained"] = v.Versions()
+	}
+	if ds, ok := st.s.Durability(); ok {
+		body["durable"] = map[string]any{
+			"dir":               ds.Dir,
+			"logBytes":          ds.Bytes,
+			"lastCheckpointSeq": ds.LastCheckpointSeq,
+			"loggedVersions":    ds.RetainedVersions,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)

@@ -181,6 +181,7 @@ type Wrangler struct {
 	memo         *tailMemo      // streaming sessions: the last integrated tail, diffable
 	dirtySources map[string]bool // sources whose state changed since the memoized tail
 	lastSeq      int
+	log          *DurableLog // durable sessions: every publication appends here
 	LastStats    RunStats
 }
 

@@ -377,7 +377,12 @@ func (w *Wrangler) AddFeedback(it feedback.Item) bool {
 	if w.UserCtx.FeedbackBudget > 0 && w.Feedback.Spent()+it.Cost > w.UserCtx.FeedbackBudget {
 		return false
 	}
-	w.Feedback.Add(it)
+	rec := w.Feedback.Add(it)
+	if w.log != nil {
+		// Paid-for labels are logged as they arrive, not at the next
+		// publish — a crash in between loses no feedback.
+		w.log.appendFeedback(rec)
+	}
 	return true
 }
 

@@ -85,7 +85,13 @@ func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
 		Selected: w.selectedIDs(),
 		Entities: append([]string(nil), w.rowEntities...),
 	}
-	w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now(), w.lastChange)
+	v := w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now(), w.lastChange)
+	if w.log != nil {
+		// Durable sessions append the committed version (and everything it
+		// changed) to the log; publish-then-append means the log tail is
+		// always a coherent committed snapshot.
+		w.log.appendVersion(w, v)
+	}
 }
 
 // publishTable hands the next version its table. The sequential tail

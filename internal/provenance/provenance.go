@@ -205,6 +205,61 @@ func (g *Graph) Sources(of Ref) []Ref {
 	return out
 }
 
+// RecordsSince returns a copy of every derivation record with Step >
+// step, sorted by step ascending — the delta a durable log appends per
+// publish. Steps are unique (one per Put), so the order is total, and a
+// replayed Apply of successive deltas reconstructs the graph exactly:
+// a record replaced after `step` shows up once, at its new step, and
+// overwrites the stale derivation on apply.
+func (g *Graph) RecordsSince(step uint64) []Record {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Record
+	for _, rec := range g.records {
+		if rec.Step > step {
+			cp := *rec
+			cp.Inputs = append([]Ref(nil), rec.Inputs...)
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Apply installs replayed records verbatim — each keeps its recorded
+// step, unlike Put which stamps the clock — with the same replacement
+// semantics as Put, and advances the clock to cover both the applied
+// records and the given floor (the step a restored snapshot was
+// published at; a graph reset by FullRerun can sit ahead of its newest
+// record). Records must be applied in the order RecordsSince returned
+// them so replacements land last.
+func (g *Graph) Apply(recs []Record, step uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range recs {
+		if old, ok := g.records[r.Artefact]; ok {
+			for _, in := range old.Inputs {
+				delete(g.rdeps[in], r.Artefact)
+			}
+		}
+		cp := r
+		cp.Inputs = append([]Ref(nil), r.Inputs...)
+		g.records[r.Artefact] = &cp
+		for _, in := range cp.Inputs {
+			if g.rdeps[in] == nil {
+				g.rdeps[in] = make(map[Ref]bool)
+			}
+			g.rdeps[in][r.Artefact] = true
+		}
+		if cp.Step > g.step {
+			g.step = cp.Step
+		}
+	}
+	if step > g.step {
+		g.step = step
+	}
+}
+
 // Dump renders every derivation record — artefact, component, inputs,
 // step and note — one line each, sorted by artefact ref. The rendering
 // is stable: two graphs that recorded the same derivations in the same

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RestoredVersion is one version to rehydrate into a fresh store — the
+// durable-log replay shape. Unlike Publish, the caller supplies the
+// original sequence number, commit time and change set, so a reopened
+// store is indistinguishable from the live one it was saved from: At,
+// Versions and Watch catch-up serve the exact versions that were
+// retained, with their original stamps.
+type RestoredVersion[T any] struct {
+	Seq     uint64
+	Step    uint64
+	Origin  Origin
+	At      time.Time
+	Data    T
+	Changes ChangeSet
+}
+
+// Restore installs replayed versions into an unused store: the history,
+// the latest pointer and the sequence counter resume exactly where the
+// saved store left off. Versions must be in strictly increasing
+// sequence order; only the newest retain-window's worth are kept (the
+// log may hold more between compactions). Restore is a construction-time
+// operation — it refuses a store that has already published, restored or
+// acquired watchers, so the atomic-latest/watch invariants never see a
+// half-restored state.
+func (s *Store[T]) Restore(versions []RestoredVersion[T]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq != 0 || len(s.history) > 0 || len(s.watchers) > 0 {
+		return errors.New("serve: restore requires an unused store")
+	}
+	if len(versions) == 0 {
+		return nil
+	}
+	var prev uint64
+	for i := range versions {
+		if versions[i].Seq == 0 || versions[i].Seq <= prev {
+			return fmt.Errorf("serve: restore: version %d out of order after %d (sequence numbers must be positive and strictly increasing)", versions[i].Seq, prev)
+		}
+		prev = versions[i].Seq
+	}
+	if len(versions) > s.retain {
+		versions = versions[len(versions)-s.retain:]
+	}
+	for _, rv := range versions {
+		rv.Changes.normalize()
+		v := &Version[T]{seq: rv.Seq, step: rv.Step, origin: rv.Origin, at: rv.At, data: rv.Data, changes: rv.Changes}
+		s.history = append(s.history, v)
+	}
+	last := s.history[len(s.history)-1]
+	s.seq = last.seq
+	s.latest.Store(last)
+	return nil
+}

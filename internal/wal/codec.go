@@ -1,0 +1,421 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// The record payload codec: a compact little-endian binary encoding with
+// the offset/validation discipline of a careful binary parser — every
+// read is bounds-checked before it happens, every failure names the
+// absolute payload offset it occurred at, and decoding never panics on
+// arbitrary bytes (the FuzzWALReplay contract). Variable-length integers
+// use the standard uvarint/zigzag forms; floats round-trip through
+// math.Float64bits so NaN quality scores survive exactly; times encode
+// as (unix seconds, nanoseconds) which round-trips time.Equal for every
+// representable time, including the zero time.
+
+// maxLen bounds any length prefix inside a payload (strings, slices,
+// tables). Payloads themselves are capped at MaxPayload by the framing
+// layer; this inner bound just fails fast on garbage lengths before any
+// allocation happens.
+const maxLen = 1 << 28
+
+// Encoder builds a record payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a fixed-width little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a fixed-width little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Uvarint appends a variable-width unsigned integer.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a variable-width signed integer (zigzag).
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Bool appends a boolean as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 as its IEEE-754 bit pattern — NaN-exact.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Time appends a wall-clock time as (unix seconds, nanoseconds). Unlike
+// UnixNano this is total over time.Time's range — the zero time and
+// pre-1678 times round-trip time.Equal exactly.
+func (e *Encoder) Time(t time.Time) {
+	e.Varint(t.Unix())
+	e.U32(uint32(t.Nanosecond()))
+}
+
+// Duration appends a time.Duration as its nanosecond count.
+func (e *Encoder) Duration(d time.Duration) { e.Varint(int64(d)) }
+
+// Value appends a dataset value: one kind byte plus the kind's payload.
+func (e *Encoder) Value(v dataset.Value) {
+	e.U8(uint8(v.Kind()))
+	switch v.Kind() {
+	case dataset.KindNull:
+	case dataset.KindString:
+		e.String(v.Str())
+	case dataset.KindInt:
+		e.Varint(v.IntVal())
+	case dataset.KindFloat:
+		e.F64(v.FloatVal())
+	case dataset.KindBool:
+		e.Bool(v.BoolVal())
+	case dataset.KindTime:
+		e.Time(v.TimeVal())
+	}
+}
+
+// Record appends a dataset record (the caller fixes the width via the
+// enclosing schema; no per-record width is written).
+func (e *Encoder) Record(r dataset.Record) {
+	for _, v := range r {
+		e.Value(v)
+	}
+}
+
+// Schema appends a dataset schema: field count, then (name, kind) pairs.
+func (e *Encoder) Schema(s dataset.Schema) {
+	e.Uvarint(uint64(len(s)))
+	for _, f := range s {
+		e.String(f.Name)
+		e.U8(uint8(f.Kind))
+	}
+}
+
+// Table appends a full table: schema, row count, then each row's values
+// in schema order.
+func (e *Encoder) Table(t *dataset.Table) {
+	e.Schema(t.Schema())
+	e.Uvarint(uint64(t.Len()))
+	for _, r := range t.Rows() {
+		e.Record(r)
+	}
+}
+
+// Strings appends a length-prefixed string slice.
+func (e *Encoder) Strings(ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Decoder reads a record payload back. Errors are sticky: the first
+// failure (out-of-bounds read, invalid tag, implausible length) is
+// retained with the absolute offset it occurred at, and every later read
+// returns the zero value without advancing. Callers decode a full
+// payload and check Err()/Done() once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Offset returns the current decode position (for error reporting by
+// layered decoders).
+func (d *Decoder) Offset() int { return d.off }
+
+// Done checks that the payload was consumed exactly: it returns the
+// sticky error if any, or a trailing-bytes error if the decoder stopped
+// short of the end.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wal: offset 0x%x: %d trailing bytes after payload", d.off, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// Failf records a decode failure at the current offset (first one wins).
+// Layered decoders use it to reject semantically invalid payloads with
+// the same offset discipline as the primitive reads.
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: offset 0x%x: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+// need checks that n more bytes exist before any read touches them.
+func (d *Decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.Failf("truncated payload: need %d bytes, %d left", n, len(d.buf)-d.off)
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Uvarint reads a variable-width unsigned integer.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.Failf("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a variable-width signed integer.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.Failf("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a Varint and narrows it to int, rejecting overflow.
+func (d *Decoder) Int() int {
+	v := d.Varint()
+	if int64(int(v)) != v {
+		d.Failf("integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a boolean, rejecting bytes other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Failf("invalid bool byte 0x%x", v)
+		return false
+	}
+}
+
+// F64 reads a float64 from its IEEE-754 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Len reads a length prefix and validates it against both the sanity
+// bound and the bytes actually remaining (for elemSize ≥ 1 encodings),
+// so a corrupt length can never drive a huge allocation.
+func (d *Decoder) Len(elemSize int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > maxLen {
+		d.Failf("implausible length %d", n)
+		return 0
+	}
+	if elemSize > 0 && int(n) > (len(d.buf)-d.off)/elemSize {
+		d.Failf("length %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Len(1)
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Time reads a wall-clock time written by Encoder.Time.
+func (d *Decoder) Time() time.Time {
+	sec := d.Varint()
+	nsec := d.U32()
+	if d.err != nil {
+		return time.Time{}
+	}
+	if nsec >= 1e9 {
+		d.Failf("invalid nanoseconds %d", nsec)
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec))
+}
+
+// Duration reads a time.Duration.
+func (d *Decoder) Duration() time.Duration { return time.Duration(d.Varint()) }
+
+// Value reads a dataset value.
+func (d *Decoder) Value() dataset.Value {
+	k := d.U8()
+	switch dataset.Kind(k) {
+	case dataset.KindNull:
+		return dataset.Null()
+	case dataset.KindString:
+		return dataset.String(d.String())
+	case dataset.KindInt:
+		return dataset.Int(d.Varint())
+	case dataset.KindFloat:
+		return dataset.Float(d.F64())
+	case dataset.KindBool:
+		return dataset.Bool(d.Bool())
+	case dataset.KindTime:
+		return dataset.Time(d.Time())
+	default:
+		d.Failf("invalid value kind 0x%x", k)
+		return dataset.Null()
+	}
+}
+
+// Record reads a dataset record of the given width.
+func (d *Decoder) Record(width int) dataset.Record {
+	if width < 0 || width > maxLen {
+		d.Failf("implausible record width %d", width)
+		return nil
+	}
+	r := make(dataset.Record, width)
+	for i := range r {
+		r[i] = d.Value()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return r
+}
+
+// Schema reads a dataset schema, validating every field kind.
+func (d *Decoder) Schema() dataset.Schema {
+	n := d.Len(2) // name length byte + kind byte at minimum
+	fields := make([]dataset.Field, 0, n)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		k := d.U8()
+		if dataset.Kind(k) > dataset.KindTime {
+			d.Failf("invalid field kind 0x%x", k)
+			return nil
+		}
+		if d.err != nil {
+			return nil
+		}
+		fields = append(fields, dataset.Field{Name: name, Kind: dataset.Kind(k)})
+	}
+	return dataset.Schema(fields)
+}
+
+// Table reads a full table written by Encoder.Table.
+func (d *Decoder) Table() *dataset.Table {
+	schema := d.Schema()
+	if d.err != nil {
+		return nil
+	}
+	t := dataset.NewTable(schema)
+	rows := d.Len(len(schema)) // ≥ 1 byte per value
+	for i := 0; i < rows; i++ {
+		r := d.Record(len(schema))
+		if d.err != nil {
+			return nil
+		}
+		t.Append(r)
+	}
+	return t
+}
+
+// Strings reads a length-prefixed string slice (nil when empty, matching
+// how the in-memory structures leave empty slices).
+func (d *Decoder) Strings() []string {
+	n := d.Len(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

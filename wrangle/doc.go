@@ -49,4 +49,22 @@
 // retained version (ErrCompacted below the window), and never block
 // the pipeline: a subscriber that stops draining its bounded buffer
 // (WithWatchBuffer) is evicted with one final Change{Evicted: true}.
+//
+// # Durability
+//
+// By default everything above is in-memory and dies with the process.
+// WithDurableLog(dir) attaches a checksummed append-only log: every
+// committed version is appended O(delta) — fused pages are written
+// once and referenced by id thereafter — and reopening the same
+// directory restores the session warm (Session.Restored reports
+// true). A restored session serves its retained versions immediately
+// (identical tables, trust state and compaction boundaries — View.At
+// below the window answers ErrCompacted exactly as before the
+// restart), watchers catch up from the restored window, and the first
+// Refresh runs as a partial tail over the rehydrated streaming memo
+// rather than a cold full run. Session.Checkpoint rewrites the log
+// down to the retention window; WithDurableFsync selects FsyncAlways
+// (fsync every commit) over the default FsyncOnCheckpoint;
+// Session.Durability reports log size and checkpoint position; Close
+// releases the log so another process can open it.
 package wrangle

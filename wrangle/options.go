@@ -47,6 +47,10 @@ type settings struct {
 
 	watchBuffer int
 
+	durableDir      string
+	durableFsync    FsyncPolicy
+	durableFsyncSet bool
+
 	seed         int64
 	synthSources int
 }

@@ -26,10 +26,11 @@ var ErrBudgetExhausted = errors.New("wrangle: feedback budget exhausted")
 // touching that lock, so read traffic never waits for an in-flight
 // reaction.
 type Session struct {
-	mu     sync.Mutex
-	w      *core.Wrangler
-	domain Domain
-	ran    bool
+	mu       sync.Mutex
+	w        *core.Wrangler
+	domain   Domain
+	ran      bool
+	restored bool // rehydrated from a durable log holding versions
 }
 
 // Run executes the full pipeline — extract every source, match and map to

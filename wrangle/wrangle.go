@@ -85,8 +85,27 @@ func New(opts ...Option) (*Session, error) {
 	if s.watchBuffer > 0 {
 		w.Serve.SetWatchBuffer(s.watchBuffer)
 	}
-	return &Session{
+	sess := &Session{
 		w:      w,
 		domain: s.domain,
-	}, nil
+	}
+	if s.durableFsyncSet && s.durableDir == "" {
+		return nil, fmt.Errorf("wrangle: WithDurableFsync requires WithDurableLog")
+	}
+	if s.durableDir != "" {
+		d, err := core.OpenDurableLog(s.durableDir, s.durableFsync)
+		if err != nil {
+			return nil, fmt.Errorf("wrangle: %w", err)
+		}
+		restored, err := w.AttachDurableLog(d)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("wrangle: %w", err)
+		}
+		// A restored session already holds committed versions: reactions
+		// may proceed without a fresh Run.
+		sess.ran = restored
+		sess.restored = restored
+	}
+	return sess, nil
 }
