@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz loadtest
+.PHONY: check build vet test race bench bench-gate fuzz loadtest
 
 check: build vet test
 
@@ -31,8 +31,13 @@ race:
 # p50/p95/p99 delivery latency and frame bytes) in BENCH_PR6.json, and
 # the durable-log cold-vs-warm start (full pipeline run vs log replay +
 # first one-source reaction over a 24-source universe) in
-# BENCH_PR7.json — the PR-over-PR perf trajectory. The patterns are
-# disjoint so nothing runs twice.
+# BENCH_PR7.json, and the telemetry overhead (disabled-vs-enabled
+# metrics on the hot read path, plus /metrics scrape cost under
+# concurrent writes) in BENCH_PR8.json — the PR-over-PR perf
+# trajectory. The patterns are disjoint so nothing runs twice. Each
+# BENCH file is benchstat-comparable: `go run ./cmd/benchgate -dump
+# BENCH_PR3.json > old.txt` converts the test2json stream to the plain
+# text benchstat consumes.
 bench:
 	$(GO) test -bench='^Benchmark(E[0-9]|F1)' -benchmem -run=^$$ .
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
@@ -41,6 +46,20 @@ bench:
 	$(GO) test -bench='^Benchmark(StreamingRefresh|ConcurrentAcquire)$$' -benchmem -run=^$$ -json . > BENCH_PR5.json
 	$(GO) test -bench=BenchmarkWatchFanout -benchmem -run=^$$ -json . > BENCH_PR6.json
 	$(GO) test -bench=BenchmarkColdVsWarmStart -benchmem -run=^$$ -json . > BENCH_PR7.json
+	$(GO) test -bench='^Benchmark(MetricsOverhead|RegistryScrape)$$' -benchmem -run=^$$ -json . > BENCH_PR8.json
+
+# bench-gate is the perf-trend gate CI runs: a fresh multi-sample run of
+# the serving-layer and telemetry benchmarks, compared against the
+# committed BENCH_*.json trajectory by cmd/benchgate. Fails on a
+# significant regression (slower than baseline × 1.5 on every sample,
+# or allocs/op above baseline × 1.15). Profiles land in bench.cpu.pprof
+# / bench.mem.pprof for inspection.
+bench-gate:
+	$(GO) test -bench='^Benchmark(ServeReads|MetricsOverhead|RegistryScrape)$$' -benchmem -count=5 -run=^$$ \
+		-cpuprofile bench.cpu.pprof -memprofile bench.mem.pprof -json . > BENCH_GATE_NEW.json
+	$(GO) run ./cmd/benchgate -new BENCH_GATE_NEW.json \
+		-baseline BENCH_PR3.json -baseline BENCH_PR8.json \
+		-match '^Benchmark(ServeReads|MetricsOverhead|RegistryScrape)'
 
 # loadtest drives the change-feed load harness in its CI smoke shape:
 # 100 concurrent subscribers against 5 seconds of continuous

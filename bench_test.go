@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wrangletest"
 	"repro/wrangle"
@@ -601,4 +602,91 @@ func quantile(xs []float64, q float64) float64 {
 	sort.Float64s(s)
 	i := int(q * float64(len(s)-1))
 	return s[i]
+}
+
+// BenchmarkMetricsOverhead prices the telemetry spine on the hottest
+// path: lock-free View reads against a live session, with the registry
+// disabled (the default — every instrumentation site is one nil check)
+// and enabled. The disabled variant must stay within noise of
+// BenchmarkServeReads/readers=1; the enabled variant bounds the cost of
+// always-on scraping. `make bench` writes this table to BENCH_PR8.json.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []wrangle.Option
+	}{
+		{"disabled", nil},
+		{"enabled", []wrangle.Option{wrangle.WithMetrics()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]wrangle.Option{
+				wrangle.WithSeed(11),
+				wrangle.WithSyntheticSources(4),
+			}, mode.opts...)
+			s, err := wrangle.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := s.View()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Table().Len() == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryScrape prices a Prometheus scrape of a registry under
+// concurrent writes — the /metrics handler's steady-state cost while the
+// pipeline reacts. Four writer goroutines hammer a representative metric
+// mix (counters, a labelled histogram, a gauge) for the whole window;
+// each iteration renders the full text exposition.
+func BenchmarkRegistryScrape(b *testing.B) {
+	reg := obs.NewRegistry()
+	for _, origin := range []string{"run", "feedback", "refresh"} {
+		reg.Counter("wrangle_reactions_total", "origin", origin).Inc()
+		reg.Histogram("wrangle_reaction_seconds", obs.DurationBuckets(), "origin", origin).Observe(0.01)
+	}
+	reg.Gauge("wrangle_rows").Set(1200)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("wrangle_serve_reads_total")
+			h := reg.Histogram("wrangle_stage_seconds", obs.DurationBuckets(), "origin", "refresh", "stage", "fuse")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%100) / 1e4)
+			}
+		}(w)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := reg.WritePrometheus(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(buf.Len()), "scrape_bytes")
 }

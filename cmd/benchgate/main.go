@@ -1,0 +1,317 @@
+// Command benchgate is the perf-trend gate over the committed
+// BENCH_*.json trajectory. It parses Go benchmark output — either raw
+// `go test -bench` text or the `-json` (test2json) stream the Makefile
+// records — compares a fresh multi-sample run against the committed
+// baselines, and exits non-zero on a significant regression.
+//
+// Regression rule: a benchmark regresses when every fresh sample is
+// slower than baseline × -max-time-ratio (comparing the *minimum* of
+// the fresh samples, the standard noise floor for wall-clock on shared
+// runners), or when the median allocs/op exceeds baseline ×
+// -max-alloc-ratio (allocation counts are deterministic, so the bound
+// is tight). A benchmark missing from the baselines is reported but
+// never fails the gate; a baseline benchmark missing from the fresh run
+// fails it — a renamed benchmark silently dropping out of the trend is
+// exactly what the gate exists to catch (restrict with -match when the
+// fresh run intentionally covers a subset).
+//
+// -dump converts the inputs to plain benchstat-compatible text instead
+// of gating, for machines that have benchstat installed.
+//
+// Usage:
+//
+//	benchgate -new fresh.json -baseline BENCH_PR3.json [-baseline ...]
+//	          [-match regexp] [-max-time-ratio 1.5] [-max-alloc-ratio 1.15]
+//	benchgate -dump file.json [file.json ...]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line's parsed metrics.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchLine matches "BenchmarkName-4   100   12345 ns/op   67 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// procSuffix is the trailing GOMAXPROCS marker Go appends to benchmark
+// names ("-4"). Stripped so runs from machines with different core
+// counts compare under one name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var baselines multiFlag
+	newFile := flag.String("new", "", "fresh benchmark run (raw or test2json)")
+	flag.Var(&baselines, "baseline", "committed baseline file (repeatable)")
+	match := flag.String("match", "", "only gate benchmarks whose name matches this regexp")
+	timeRatio := flag.Float64("max-time-ratio", 1.5, "fail when min(fresh ns/op) exceeds baseline × this")
+	allocRatio := flag.Float64("max-alloc-ratio", 1.15, "fail when median(fresh allocs/op) exceeds baseline × this")
+	dump := flag.Bool("dump", false, "convert the positional files to benchstat text and exit")
+	flag.Parse()
+
+	if *dump {
+		if err := dumpFiles(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *newFile == "" || len(baselines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: need -new and at least one -baseline (or -dump)")
+		os.Exit(2)
+	}
+	var nameRE *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: bad -match:", err)
+			os.Exit(2)
+		}
+		nameRE = re
+	}
+
+	fresh, err := parseFile(*newFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	base := map[string][]sample{}
+	for _, f := range baselines {
+		m, err := parseFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		for name, ss := range m {
+			base[name] = append(base[name], ss...)
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if nameRE == nil || nameRE.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := median(base[name], func(s sample) float64 { return s.nsPerOp })
+		ss, ok := fresh[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline %s — not in the fresh run\n", name, fmtNS(b))
+			failed = true
+			continue
+		}
+		newMin := minOf(ss, func(s sample) float64 { return s.nsPerOp })
+		ratio := newMin / b
+		verdict := "ok      "
+		if newMin > b**timeRatio {
+			verdict = "SLOWER  "
+			failed = true
+		}
+		fmt.Printf("%s %-60s %s → %s (min of %d)  ×%.2f (limit ×%.2f)\n",
+			verdict, name, fmtNS(b), fmtNS(newMin), len(ss), ratio, *timeRatio)
+
+		ba := median(base[name], func(s sample) float64 { return s.allocsPerOp })
+		if hasAllocs(base[name]) && hasAllocs(ss) {
+			na := median(ss, func(s sample) float64 { return s.allocsPerOp })
+			// +2 absolute slack keeps near-zero baselines from failing on
+			// a single incidental allocation.
+			if na > ba**allocRatio+2 {
+				fmt.Printf("ALLOCS   %-60s %.0f → %.0f allocs/op (limit ×%.2f)\n", name, ba, na, *allocRatio)
+				failed = true
+			}
+		}
+	}
+	newOnly := 0
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			newOnly++
+		}
+	}
+	if newOnly > 0 {
+		fmt.Printf("%d benchmark(s) in the fresh run have no baseline yet (not gated)\n", newOnly)
+	}
+	if failed {
+		fmt.Println("\nbenchgate: FAIL — significant regression against the committed trajectory")
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: ok")
+}
+
+// parseFile reads one benchmark output file — raw text or a test2json
+// stream — and returns samples grouped by normalized benchmark name.
+func parseFile(path string) (map[string][]sample, error) {
+	lines, err := textLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]sample{}
+	for _, line := range lines {
+		name, s, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		out[name] = append(out[name], s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// textLines reads a benchmark output file and returns its logical text
+// lines. test2json splits one benchmark result across several "output"
+// events ("BenchmarkX/sub \t" in one, "  2\t 60246 ns/op\n" in the
+// next), so JSON streams are reassembled by concatenating Output
+// payloads before splitting on newlines.
+func textLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var buf strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Text()
+		if strings.HasPrefix(raw, "{") {
+			var ev struct{ Action, Output string }
+			if json.Unmarshal([]byte(raw), &ev) == nil {
+				if ev.Action == "output" {
+					buf.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		buf.WriteString(raw)
+		buf.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return strings.Split(buf.String(), "\n"), nil
+}
+
+// parseBenchLine parses one "BenchmarkX-N iters metrics..." line.
+func parseBenchLine(line string) (string, sample, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", sample{}, false
+	}
+	name := procSuffix.ReplaceAllString(m[1], "")
+	fields := strings.Fields(m[3])
+	var s sample
+	seen := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			seen = true
+		case "B/op":
+			s.bytesPerOp = v
+		case "allocs/op":
+			s.allocsPerOp = v
+			s.hasAllocs = true
+		}
+	}
+	return name, s, seen
+}
+
+func hasAllocs(ss []sample) bool {
+	for _, s := range ss {
+		if s.hasAllocs {
+			return true
+		}
+	}
+	return false
+}
+
+func median(ss []sample, f func(sample) float64) float64 {
+	vals := make([]float64, 0, len(ss))
+	for _, s := range ss {
+		vals = append(vals, f(s))
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)/2]
+}
+
+func minOf(ss []sample, f func(sample) float64) float64 {
+	min := f(ss[0])
+	for _, s := range ss[1:] {
+		if v := f(s); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func fmtNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// dumpFiles re-emits the input files' benchmark lines as plain text —
+// the exact format `benchstat old.txt new.txt` consumes.
+func dumpFiles(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-dump needs at least one file")
+	}
+	for _, path := range paths {
+		lines, err := textLines(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range lines {
+			t := strings.TrimSpace(line)
+			if strings.HasPrefix(t, "goos:") || strings.HasPrefix(t, "goarch:") ||
+				strings.HasPrefix(t, "pkg:") || strings.HasPrefix(t, "cpu:") {
+				fmt.Println(line)
+				continue
+			}
+			// Only full result lines — a bare "BenchmarkX" progress line
+			// would confuse benchstat.
+			if _, _, ok := parseBenchLine(line); ok {
+				fmt.Println(line)
+			}
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@
 //
 //	watchload [-subscribers N] [-duration d] [-seed N] [-sources N]
 //	          [-shards N] [-buffer N] [-retain N] [-churn f] [-smoke]
+//	          [-metrics-dump]
 //
 // -smoke runs the CI configuration (100 subscribers, 5s) and exits
 // non-zero if any stream gapped, nobody received anything, or a draining
@@ -53,6 +54,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "CI smoke: 100 subscribers for 5s, strict exit code")
 	stateDir := flag.String("state", "", "durable state directory: log committed versions and write a fingerprint sidecar per publish")
 	verifyState := flag.Bool("verify-state", false, "crash-recovery check: reopen -state, compare against the sidecar, strict exit")
+	metricsDump := flag.Bool("metrics-dump", false, "enable session telemetry and print the final registry scrape (Prometheus text format)")
 	flag.Parse()
 	if *smoke {
 		*subscribers, *duration = 100, 5*time.Second
@@ -68,7 +70,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*subscribers, *duration, *seed, *nSources, *shards, *buffer, *retain, *churn, *smoke, *stateDir); err != nil {
+	if err := run(*subscribers, *duration, *seed, *nSources, *shards, *buffer, *retain, *churn, *smoke, *stateDir, *metricsDump); err != nil {
 		fmt.Fprintln(os.Stderr, "watchload:", err)
 		os.Exit(1)
 	}
@@ -79,11 +81,10 @@ type subscriberStats struct {
 	delivered int
 	gaps      int
 	evicted   bool
-	latencyUS []float64
 	lastSeen  uint64
 }
 
-func run(subscribers int, duration time.Duration, seed int64, nSources, shards, buffer, retain int, churn float64, strict bool, stateDir string) error {
+func run(subscribers int, duration time.Duration, seed int64, nSources, shards, buffer, retain int, churn float64, strict bool, stateDir string, metricsDump bool) error {
 	world := synth.NewWorld(seed, 200, 0)
 	for i := 0; i < 12; i++ {
 		world.Evolve(0.15)
@@ -99,11 +100,22 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 	if stateDir != "" {
 		opts = append(opts, wrangle.WithDurableLog(stateDir))
 	}
+	if metricsDump {
+		opts = append(opts, wrangle.WithMetrics())
+	}
 	s, err := wrangle.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	// Delivery latency accumulates into one shared fixed-bucket histogram
+	// (allocation-free on the delivery path); with -metrics-dump it is
+	// registered on the session registry so the final scrape includes it.
+	latency := wrangle.NewHistogram(wrangle.DurationBuckets())
+	if reg := s.Metrics(); reg != nil {
+		latency = reg.Histogram("watchload_delivery_seconds", wrangle.DurationBuckets())
+		reg.Help("watchload_delivery_seconds", "Publish-to-delivery latency observed by load subscribers.")
+	}
 	start := time.Now()
 	if s.Restored() {
 		fmt.Printf("warm restart from %s\n", stateDir)
@@ -144,7 +156,7 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 				last = c.Version()
 				st.lastSeen = last
 				st.delivered++
-				st.latencyUS = append(st.latencyUS, float64(time.Since(c.View.PublishedAt()).Microseconds()))
+				latency.Observe(time.Since(c.View.PublishedAt()).Seconds())
 			}
 		}(&stats[i], ch, cancel)
 	}
@@ -219,7 +231,6 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 
 	final, _ := s.View()
 	delivered, gaps, evictions, caughtUp := 0, 0, 0, 0
-	var all []float64
 	for i := range stats {
 		delivered += stats[i].delivered
 		gaps += stats[i].gaps
@@ -229,15 +240,15 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 		if stats[i].lastSeen == final.Version() {
 			caughtUp++
 		}
-		all = append(all, stats[i].latencyUS...)
 	}
+	p50, p95, p99 := latency.Quantile(0.50), latency.Quantile(0.95), latency.Quantile(0.99)
 
 	fmt.Printf("\n%d reactions in %s (%d refresh, %d feedback) → versions %d..%d\n",
 		publishes, elapsed.Round(time.Millisecond), publishes-feedbacks, feedbacks, first.Version()+1, final.Version())
 	fmt.Printf("subscribers: %d   delivered: %d events (%.0f/s)   caught up at end: %d\n",
 		subscribers, delivered, float64(delivered)/elapsed.Seconds(), caughtUp)
-	fmt.Printf("latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
-		quantile(all, 0.50)/1000, quantile(all, 0.95)/1000, quantile(all, 0.99)/1000)
+	fmt.Printf("latency: p50 %.1fms  p95 %.1fms  p99 %.1fms  (histogram estimate over %d deliveries)\n",
+		p50*1000, p95*1000, p99*1000, latency.Count())
 	fmt.Printf("bytes/subscriber: %s over %d versions (delta frames; shared pages elided)\n",
 		sizeof(frameBytes.Load()), final.Version()-first.Version())
 	fmt.Printf("gaps: %d   evictions: %d   watchers left: %d\n", gaps, evictions, s.Watchers())
@@ -245,10 +256,17 @@ func run(subscribers int, duration time.Duration, seed int64, nSources, shards, 
 	// Machine-readable tail line for harnesses scraping the run.
 	summary, _ := json.Marshal(map[string]any{
 		"subscribers": subscribers, "publishes": publishes, "delivered": delivered,
-		"p50_us": quantile(all, 0.50), "p95_us": quantile(all, 0.95), "p99_us": quantile(all, 0.99),
+		"p50_us": p50 * 1e6, "p95_us": p95 * 1e6, "p99_us": p99 * 1e6,
 		"bytesPerSubscriber": frameBytes.Load(), "gaps": gaps, "evictions": evictions,
 	})
 	fmt.Printf("summary: %s\n", summary)
+
+	if reg := s.Metrics(); reg != nil {
+		fmt.Println("\n-- metrics dump --")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 
 	if gaps > 0 {
 		return fmt.Errorf("%d subscribers observed gapped streams", gaps)
@@ -442,16 +460,6 @@ func verify(dir string, seed int64, nSources, shards, buffer, retain int) error 
 	fmt.Printf("post-restore refresh published version %d (shards resolved %d, reused %d)\n",
 		v2.Version(), stats.ShardsResolved, stats.ShardsReused)
 	return nil
-}
-
-// quantile returns the q-th quantile (nearest rank) of xs; 0 when empty.
-func quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return s[int(q*float64(len(s)-1))]
 }
 
 // sizeof renders a byte count human-readably.

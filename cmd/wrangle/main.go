@@ -15,7 +15,7 @@
 //	        [-context balanced|routine|investigation] [-max-sources N]
 //	        [-parallelism N] [-shards N] [-streaming] [-retain N]
 //	        [-csv out.csv]
-//	        [-serve [-listen addr] [-refresh-every d] [-churn f]]
+//	        [-serve [-listen addr] [-refresh-every d] [-churn f] [-pprof]]
 package main
 
 import (
@@ -47,6 +47,7 @@ func main() {
 	retain := flag.Int("retain", 0, "snapshot versions to retain (0 = default window)")
 	stateDir := flag.String("state", "", "durable state directory: log committed versions there and warm-restart from it")
 	fsyncAlways := flag.Bool("fsync-always", false, "fsync the durable log on every published version (requires -state)")
+	pprofFlag := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	// Flag combinations are validated before any work: -serve in
@@ -72,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 	if !*serveMode {
-		serveOnly := map[string]string{"listen": "", "refresh-every": "", "churn": ""}
+		serveOnly := map[string]string{"listen": "", "refresh-every": "", "churn": "", "pprof": ""}
 		flag.Visit(func(f *flag.Flag) {
 			if _, ok := serveOnly[f.Name]; ok {
 				fmt.Fprintf(os.Stderr, "wrangle: -%s only makes sense with -serve\n", f.Name)
@@ -94,6 +95,11 @@ func main() {
 		}
 	}
 	opts := []wrangle.Option{wrangle.WithSourceBudget(*maxSources)}
+	if *serveMode {
+		// A serving tier always carries its telemetry: /metrics and the
+		// /healthz summary read the session registry.
+		opts = append(opts, wrangle.WithMetrics())
+	}
 	if *stateDir != "" {
 		opts = append(opts, wrangle.WithDurableLog(*stateDir))
 		if *fsyncAlways {
@@ -239,7 +245,7 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServe(s, u, *listen, *refreshEvery, *churn); err != nil {
+		if err := runServe(s, u, *listen, *refreshEvery, *churn, *pprofFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "wrangle:", err)
 			os.Exit(1)
 		}

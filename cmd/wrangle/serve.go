@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -28,7 +29,7 @@ import (
 // the synthetic world and refreshes sources, committing a new version per
 // reaction. SIGINT/SIGTERM drains watch subscribers and in-flight
 // requests, stops the refresher and exits cleanly.
-func runServe(s *wrangle.Session, u *synth.Universe, addr string, every time.Duration, churn float64) error {
+func runServe(s *wrangle.Session, u *synth.Universe, addr string, every time.Duration, churn float64, withPprof bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -42,6 +43,10 @@ func runServe(s *wrangle.Session, u *synth.Universe, addr string, every time.Dur
 		strings.Join(endpoints, " "))
 
 	st := newServeState(s)
+	st.pprof = withPprof
+	if withPprof {
+		fmt.Printf("pprof:     http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	// The background write loop: evolve the synthetic world and refresh
 	// one source per tick (round-robin), so readers watch versions advance
@@ -106,7 +111,7 @@ const defaultHeartbeat = 10 * time.Second
 // endpoints is the API surface, advertised on startup and in 404 bodies.
 var endpoints = []string{
 	"/version", "/table", "/report", "/stats", "/sources",
-	"/watch", "/healthz",
+	"/watch", "/healthz", "/metrics",
 }
 
 // serveState is the HTTP tier's shared state, factored out of runServe so
@@ -120,10 +125,28 @@ type serveState struct {
 	// long-poll connections.
 	drain     chan struct{}
 	heartbeat time.Duration
+	// pprof mounts net/http/pprof under /debug/pprof/ — opt-in via the
+	// -pprof flag because the profile endpoints expose internals and can
+	// burn CPU on demand.
+	pprof bool
+
+	// HTTP-layer watch fan-out telemetry, resolved once from the session
+	// registry (nil handles when telemetry is off — all writes no-op).
+	watchFrames  *wrangle.Counter
+	watchBytes   *wrangle.Counter
+	watchLatency *wrangle.Histogram
 }
 
 func newServeState(s *wrangle.Session) *serveState {
-	return &serveState{s: s, start: time.Now(), drain: make(chan struct{}), heartbeat: defaultHeartbeat}
+	st := &serveState{s: s, start: time.Now(), drain: make(chan struct{}), heartbeat: defaultHeartbeat}
+	reg := s.Metrics()
+	st.watchFrames = reg.Counter("wrangle_watch_frames_total")
+	st.watchBytes = reg.Counter("wrangle_watch_frame_bytes_total")
+	st.watchLatency = reg.Histogram("wrangle_watch_delivery_seconds", wrangle.DurationBuckets())
+	reg.Help("wrangle_watch_frames_total", "SSE frames written to /watch streams.")
+	reg.Help("wrangle_watch_frame_bytes_total", "Bytes of SSE frames written to /watch streams.")
+	reg.Help("wrangle_watch_delivery_seconds", "Publish-to-SSE-write latency per delivered frame.")
+	return st
 }
 
 // handler builds the serving mux over the session's snapshot store. All
@@ -196,6 +219,14 @@ func (st *serveState) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", st.handleHealthz)
 	mux.HandleFunc("GET /watch", st.handleWatch)
+	mux.HandleFunc("GET /metrics", st.handleMetrics)
+	if st.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	// Everything else is an unknown path: a JSON 404 that tells the
 	// caller what does exist, instead of the default plain-text page.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -236,8 +267,29 @@ func (st *serveState) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"loggedVersions":    ds.RetainedVersions,
 		}
 	}
+	if reg := st.s.Metrics(); reg != nil {
+		// The counter/gauge summary: reactions by origin, source
+		// failures and task panics, serve read and watch traffic — the
+		// at-a-glance numbers; histograms stay on /metrics.
+		body["telemetry"] = reg.Summary()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)
+}
+
+// handleMetrics renders the session registry as Prometheus text
+// exposition format. Output ordering is deterministic (families and
+// series sorted by name), so consecutive scrapes differ only in values.
+func (st *serveState) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := st.s.Metrics()
+	if reg == nil {
+		jsonError(w, http.StatusNotFound, "telemetry disabled: session built without WithMetrics")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := reg.WritePrometheus(w); err != nil {
+		fmt.Fprintln(os.Stderr, "wrangle: write metrics:", err)
+	}
 }
 
 // watchFrame is the JSON payload of one /watch SSE event: the version
@@ -316,10 +368,14 @@ func (st *serveState) handleWatch(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			if err := writeSSE(w, c); err != nil {
+			n, err := writeSSE(w, c)
+			if err != nil {
 				return
 			}
 			fl.Flush()
+			st.watchFrames.Inc()
+			st.watchBytes.Add(int64(n))
+			st.watchLatency.Observe(time.Since(c.View.PublishedAt()).Seconds())
 			if c.Evicted {
 				return
 			}
@@ -341,7 +397,7 @@ func (st *serveState) handleWatch(w http.ResponseWriter, r *http.Request) {
 // writeSSE renders one change as an SSE event. The event id is the
 // version, so EventSource clients get Last-Event-ID resume for free
 // (reconnect with ?from=<id>).
-func writeSSE(w io.Writer, c wrangle.Change) error {
+func writeSSE(w io.Writer, c wrangle.Change) (int, error) {
 	cs := c.Changes
 	frame := watchFrame{
 		Version:        c.Version(),
@@ -368,10 +424,9 @@ func writeSSE(w io.Writer, c wrangle.Change) error {
 	}
 	data, err := json.Marshal(frame)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", c.Version(), event, data)
-	return err
+	return fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", c.Version(), event, data)
 }
 
 // allRows serialises every row of the pinned version, keyed by entity id.

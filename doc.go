@@ -38,7 +38,13 @@
 // reference, byte-identically to the full recompute; reaction cost
 // scales with the change, not the corpus. Source re-acquisition
 // overlaps on the same worker pool for providers that opt into the
-// sources.ConcurrentProvider contract. README.md holds the quickstart,
+// sources.ConcurrentProvider contract. WithMetrics threads the
+// internal/obs telemetry registry through all of it — stage and task
+// histograms, shard reuse, publish deltas, serve reads, watch fan-out,
+// WAL activity — rendered as a deterministic Prometheus scrape
+// (cmd/wrangle -serve exposes /metrics and, with -pprof, the standard
+// profile endpoints; cmd/benchgate gates CI on the committed
+// BENCH_*.json perf trajectory). README.md holds the quickstart,
 // CLI usage, and the architecture, shard/merge, delta-version and
 // streaming dirty-set diagrams, ROADMAP.md the north star and open
 // items, and repro/wrangle/experiments the paper-claim experiment

@@ -182,6 +182,7 @@ type Wrangler struct {
 	dirtySources map[string]bool // sources whose state changed since the memoized tail
 	lastSeq      int
 	log          *DurableLog // durable sessions: every publication appends here
+	met          *pipelineMetrics // nil unless SetMetrics enabled telemetry
 	LastStats    RunStats
 }
 
@@ -258,6 +259,7 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	if err := w.addIntegrationTasks(g, &shardRun{}, "select"); err != nil {
 		return nil, err
 	}
+	w.instrumentGraph(g)
 	if err := g.Run(ctx, w.workers()); err != nil {
 		// The tail may have stopped between stages; the memoized state no
 		// longer describes one coherent integration.
@@ -282,31 +284,39 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 func stageTimings(tasks map[string]time.Duration) map[string]time.Duration {
 	stages := make(map[string]time.Duration, 8)
 	for id, d := range tasks {
-		switch {
-		case strings.HasPrefix(id, "source["):
-			stages["sources"] += d
-		case id == "integrate":
+		stage, tail := stageOf(id)
+		stages[stage] += d
+		if tail {
 			stages["integrate"] += d
-		case id == "integrate:plan":
-			stages["replan"] += d
-			stages["integrate"] += d
-		case id == "integrate:cluster":
-			stages["trust"] += d
-			stages["integrate"] += d
-		case id == "integrate:merge":
-			stages["merge"] += d
-			stages["integrate"] += d
-		case strings.HasPrefix(id, "resolve["):
-			stages["resolve"] += d
-			stages["integrate"] += d
-		case strings.HasPrefix(id, "fuse["):
-			stages["fuse"] += d
-			stages["integrate"] += d
-		default:
-			stages[id] += d
 		}
 	}
 	return stages
+}
+
+// stageOf maps an engine task ID to its pipeline stage name, and reports
+// whether the task belongs to the sharded integration tail (and so also
+// accrues to the aggregate "integrate" key). It is the single source of
+// stage attribution, shared by stageTimings and the per-task telemetry
+// spans.
+func stageOf(id string) (stage string, tail bool) {
+	switch {
+	case strings.HasPrefix(id, "source["):
+		return "sources", false
+	case id == "integrate":
+		return "integrate", false
+	case id == "integrate:plan":
+		return "replan", true
+	case id == "integrate:cluster":
+		return "trust", true
+	case id == "integrate:merge":
+		return "merge", true
+	case strings.HasPrefix(id, "resolve["):
+		return "resolve", true
+	case strings.HasPrefix(id, "fuse["):
+		return "fuse", true
+	default:
+		return id, false
+	}
 }
 
 // workers resolves the wrangler's configured parallelism degree.
@@ -479,6 +489,9 @@ func (w *Wrangler) installOutcome(o *sourceOutcome) error {
 			w.LastStats.Failures = map[string]string{}
 		}
 		w.LastStats.Failures[o.id] = o.err.Error()
+		if w.met != nil {
+			w.met.sourceFailures.Inc()
+		}
 		return o.err
 	}
 	w.states[o.id] = o.st

@@ -14,6 +14,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/feedback"
 	"repro/internal/fusion"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -100,6 +101,10 @@ type DurableLog struct {
 	retain         int
 	sinceCompact   int
 	lastCheckpoint uint64
+
+	// replayTruncated records whether Open healed a torn tail — surfaced
+	// as wrangle_wal_replay_truncations_total when telemetry attaches.
+	replayTruncated bool
 }
 
 // replayedLog is everything OpenDurableLog recovered, pending attachment.
@@ -762,13 +767,14 @@ func OpenDurableLog(dir string, policy FsyncPolicy) (*DurableLog, error) {
 		return nil, err
 	}
 	d := &DurableLog{
-		dir:        dir,
-		log:        log,
-		pageIDs:    map[*shardPage]uint64{},
-		pagesByID:  map[uint64]*shardPage{},
-		nextPageID: 1,
-		srcSig:     map[string]sourceSig{},
-		rep:        &replayedLog{states: map[string]*sourceState{}},
+		dir:             dir,
+		log:             log,
+		pageIDs:         map[*shardPage]uint64{},
+		pagesByID:       map[uint64]*shardPage{},
+		nextPageID:      1,
+		srcSig:          map[string]sourceSig{},
+		rep:             &replayedLog{states: map[string]*sourceState{}},
+		replayTruncated: rr.Truncated,
 	}
 	fail := func(rec wal.Record, err error) (*DurableLog, error) {
 		log.Close()
@@ -865,6 +871,17 @@ func OpenDurableLog(dir string, policy FsyncPolicy) (*DurableLog, error) {
 
 // Dir returns the state directory the log lives in.
 func (d *DurableLog) Dir() string { return d.dir }
+
+// instrument wires the underlying WAL's activity counters onto reg and
+// records whether this log's open had to heal a torn tail.
+func (d *DurableLog) instrument(reg *obs.Registry) {
+	d.log.Instrument(reg)
+	reg.Help(mReplayTrunc, "Torn WAL tails healed by replay at open.")
+	c := reg.Counter(mReplayTrunc)
+	if d.replayTruncated {
+		c.Inc()
+	}
+}
 
 // Err returns the log's sticky write error, if any.
 func (d *DurableLog) Err() error { return d.log.Err() }

@@ -161,6 +161,7 @@ func (w *Wrangler) runTail(ctx context.Context, scope tailScope, stats *ReactSta
 	if err != nil {
 		return err
 	}
+	w.instrumentGraph(g)
 	if err := g.Run(ctx, w.workers()); err != nil {
 		// The tail stopped between stages: the memo no longer describes
 		// one coherent integration.

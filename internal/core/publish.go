@@ -86,6 +86,7 @@ func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
 		Entities: append([]string(nil), w.rowEntities...),
 	}
 	v := w.Serve.Publish(pub, w.Prov.Step(), origin, time.Now(), w.lastChange)
+	w.observePublish(origin, react, v)
 	if w.log != nil {
 		// Durable sessions append the committed version (and everything it
 		// changed) to the log; publish-then-append means the log tail is

@@ -20,7 +20,18 @@ type Graph struct {
 	tasks   []*Task
 	byID    map[string]*Task
 	timings map[string]time.Duration
+	observe TaskObserver
 }
+
+// TaskObserver receives one callback per completed task — its ID, wall
+// clock, and error (nil on success, *PanicError when the task panicked).
+// Called on the scheduler goroutine, so implementations must be cheap
+// and need no synchronization against other callbacks from the same Run.
+type TaskObserver func(id string, d time.Duration, err error)
+
+// Observe installs fn as the graph's task observer. Set it before Run;
+// a nil fn disables observation.
+func (g *Graph) Observe(fn TaskObserver) { g.observe = fn }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph {
@@ -157,6 +168,9 @@ func (g *Graph) Run(ctx context.Context, workers int) error {
 		// clock feeds per-stage attribution in RunStats instead of being
 		// discarded with the worker goroutine.
 		g.timings[msg.task.ID] = msg.dur
+		if g.observe != nil {
+			g.observe(msg.task.ID, msg.dur, msg.err)
+		}
 		if msg.err != nil && firstErr == nil {
 			firstErr = msg.err
 		}

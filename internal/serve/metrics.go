@@ -1,0 +1,45 @@
+package serve
+
+import "repro/internal/obs"
+
+// storeMetrics are the serving-layer handles, resolved once at
+// Instrument so the hot paths (Latest in particular) pay one nil check
+// when telemetry is off and one atomic add when it is on.
+type storeMetrics struct {
+	publishes    *obs.Counter
+	reads        *obs.Counter
+	timeTravel   *obs.Counter
+	errCompacted *obs.Counter
+	errNotFound  *obs.Counter
+	subscribes   *obs.Counter
+	deliveries   *obs.Counter
+	evictions    *obs.Counter
+	watchers     *obs.Gauge
+}
+
+// Instrument registers the store's serving metrics on reg and starts
+// recording: publishes, lock-free reads, time-travel reads, typed read
+// errors (compacted vs not-found — shared by At and Watch catch-up),
+// and the change-feed's subscribe/delivery/eviction counters plus the
+// live-watcher gauge. Call it before the store is shared across
+// goroutines (it writes an unsynchronised field the read path loads);
+// a nil reg is a no-op.
+func (s *Store[T]) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("wrangle_serve_reads_total", "Lock-free Latest() reads served.")
+	reg.Help("wrangle_serve_read_errors_total", "Version reads rejected, by kind (compacted vs not_found).")
+	reg.Help("wrangle_watch_evictions_total", "Subscribers evicted for a full delivery buffer.")
+	s.met = &storeMetrics{
+		publishes:    reg.Counter("wrangle_serve_publishes_total"),
+		reads:        reg.Counter("wrangle_serve_reads_total"),
+		timeTravel:   reg.Counter("wrangle_serve_timetravel_total"),
+		errCompacted: reg.Counter("wrangle_serve_read_errors_total", "kind", "compacted"),
+		errNotFound:  reg.Counter("wrangle_serve_read_errors_total", "kind", "not_found"),
+		subscribes:   reg.Counter("wrangle_watch_subscribes_total"),
+		deliveries:   reg.Counter("wrangle_watch_deliveries_total"),
+		evictions:    reg.Counter("wrangle_watch_evictions_total"),
+		watchers:     reg.Gauge("wrangle_watchers"),
+	}
+}

@@ -98,6 +98,11 @@ type Store[T any] struct {
 	watchers []*watcher[T]
 	watchSeq uint64
 	watchBuf int
+
+	// met is nil until Instrument enables telemetry (metrics.go). Set
+	// before the store is shared; read without synchronisation on the
+	// lock-free Latest path.
+	met *storeMetrics
 }
 
 // NewStore creates a store retaining the given number of versions.
@@ -138,13 +143,21 @@ func (s *Store[T]) Publish(data T, step uint64, origin Origin, at time.Time, cha
 	s.latest.Store(v)
 	s.notifyWatchers(v)
 	s.mu.Unlock()
+	if m := s.met; m != nil {
+		m.publishes.Inc()
+	}
 	return v
 }
 
 // Latest returns the most recently committed version, or nil before the
 // first publication. It is a single atomic load: it never blocks on
 // publishers and can be called from any number of goroutines.
-func (s *Store[T]) Latest() *Version[T] { return s.latest.Load() }
+func (s *Store[T]) Latest() *Version[T] {
+	if m := s.met; m != nil {
+		m.reads.Inc()
+	}
+	return s.latest.Load()
+}
 
 // At returns the retained version with the given sequence number. It
 // reports a plain error for sequence numbers never published, and the
@@ -156,11 +169,20 @@ func (s *Store[T]) At(seq uint64) (*Version[T], error) {
 	defer s.mu.RUnlock()
 	for _, v := range s.history {
 		if v.seq == seq {
+			if m := s.met; m != nil {
+				m.timeTravel.Inc()
+			}
 			return v, nil
 		}
 	}
 	if seq == 0 || seq > s.seq {
+		if m := s.met; m != nil {
+			m.errNotFound.Inc()
+		}
 		return nil, fmt.Errorf("serve: version %d does not exist (latest is %d)", seq, s.seq)
+	}
+	if m := s.met; m != nil {
+		m.errCompacted.Inc()
 	}
 	return nil, fmt.Errorf("serve: version %d (retaining %d of %d) %w", seq, len(s.history), s.seq, ErrCompacted)
 }

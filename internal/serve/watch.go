@@ -167,6 +167,9 @@ func (s *Store[T]) Watch(ctx context.Context, fromSeq uint64) (<-chan Change[T],
 	s.mu.Lock()
 	if fromSeq > s.seq {
 		s.mu.Unlock()
+		if m := s.met; m != nil {
+			m.errNotFound.Inc()
+		}
 		return nil, nil, fmt.Errorf("serve: watch from %d: version not yet published (latest is %d)", fromSeq, s.seq)
 	}
 	var replay []*Version[T]
@@ -181,6 +184,9 @@ func (s *Store[T]) Watch(ctx context.Context, fromSeq uint64) (<-chan Change[T],
 	// not (version O-1 is gone).
 	if want := s.seq - fromSeq; uint64(len(replay)) < want {
 		s.mu.Unlock()
+		if m := s.met; m != nil {
+			m.errCompacted.Inc()
+		}
 		return nil, nil, fmt.Errorf("serve: watch from %d: %d of %d catch-up versions %w", fromSeq, want-uint64(len(replay)), want, ErrCompacted)
 	}
 	buf := s.watchBuf
@@ -199,6 +205,11 @@ func (s *Store[T]) Watch(ctx context.Context, fromSeq uint64) (<-chan Change[T],
 		w.ch <- Change[T]{Version: v, Changes: v.changes}
 	}
 	s.watchers = append(s.watchers, w)
+	if m := s.met; m != nil {
+		m.subscribes.Inc()
+		m.deliveries.Add(int64(len(replay)))
+		m.watchers.Set(float64(len(s.watchers)))
+	}
 	s.mu.Unlock()
 
 	stop := make(chan struct{})
@@ -230,6 +241,9 @@ func (s *Store[T]) unwatch(w *watcher[T], stop chan struct{}) {
 		w.gone = true
 		s.removeWatcher(w.id)
 		close(w.ch)
+		if m := s.met; m != nil {
+			m.watchers.Set(float64(len(s.watchers)))
+		}
 	}
 	s.mu.Unlock()
 	// Release the ctx goroutine. Guarded: CancelFunc is idempotent.
@@ -281,6 +295,13 @@ func (s *Store[T]) notifyWatchers(v *Version[T]) {
 	}
 	for _, w := range evicted {
 		s.removeWatcher(w.id)
+	}
+	if m := s.met; m != nil {
+		m.deliveries.Add(int64(len(s.watchers)))
+		if len(evicted) > 0 {
+			m.evictions.Add(int64(len(evicted)))
+			m.watchers.Set(float64(len(s.watchers)))
+		}
 	}
 }
 

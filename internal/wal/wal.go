@@ -29,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -116,7 +118,37 @@ type Log struct {
 	w      *bufWriter
 	size   int64
 	policy SyncPolicy
-	err    error // sticky: first write failure poisons the handle
+	err    error       // sticky: first write failure poisons the handle
+	met    *logMetrics // nil unless Instrument enabled telemetry
+}
+
+// logMetrics are the WAL activity counters, resolved once at Instrument.
+type logMetrics struct {
+	appends       *obs.Counter
+	appendedBytes *obs.Counter
+	commits       *obs.Counter
+	fsyncs        *obs.Counter
+	compactions   *obs.Counter
+}
+
+// Instrument registers the log's activity counters on reg and starts
+// recording appends (and their framed bytes), commits, fsyncs and
+// compactions. Compact's rewrite appends are not counted — only records
+// the owner newly appended. Call under the owner's serialisation, like
+// every other Log method; a nil reg is a no-op.
+func (l *Log) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("wrangle_wal_appended_bytes_total", "Bytes appended to the durable log, framing included.")
+	reg.Help("wrangle_wal_fsyncs_total", "fsync calls issued by commits, checkpoints and compactions.")
+	l.met = &logMetrics{
+		appends:       reg.Counter("wrangle_wal_appends_total"),
+		appendedBytes: reg.Counter("wrangle_wal_appended_bytes_total"),
+		commits:       reg.Counter("wrangle_wal_commits_total"),
+		fsyncs:        reg.Counter("wrangle_wal_fsyncs_total"),
+		compactions:   reg.Counter("wrangle_wal_compactions_total"),
+	}
 }
 
 // bufWriter is a minimal buffered writer (avoids bufio's Reset dance
@@ -275,6 +307,10 @@ func (l *Log) Append(kind Kind, payload []byte) error {
 	l.w.write(payload)
 	l.w.write(tail[:])
 	l.size += int64(frameOverhead + len(payload))
+	if m := l.met; m != nil {
+		m.appends.Inc()
+		m.appendedBytes.Add(int64(frameOverhead + len(payload)))
+	}
 	return nil
 }
 
@@ -294,6 +330,12 @@ func (l *Log) Commit() error {
 			l.err = fmt.Errorf("wal: sync %s: %w", l.path, err)
 			return l.err
 		}
+		if m := l.met; m != nil {
+			m.fsyncs.Inc()
+		}
+	}
+	if m := l.met; m != nil {
+		m.commits.Inc()
 	}
 	return nil
 }
@@ -310,6 +352,9 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: sync %s: %w", l.path, err)
 		return l.err
+	}
+	if m := l.met; m != nil {
+		m.fsyncs.Inc()
 	}
 	return nil
 }
@@ -407,5 +452,9 @@ func (l *Log) Compact(recs []Data) error {
 	l.f = f
 	l.w = &bufWriter{f: f}
 	l.size = nl.size
+	if m := l.met; m != nil {
+		m.compactions.Inc()
+		m.fsyncs.Inc() // the tmp-file sync that made the new image durable
+	}
 	return nil
 }

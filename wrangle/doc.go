@@ -67,4 +67,18 @@
 // (fsync every commit) over the default FsyncOnCheckpoint;
 // Session.Durability reports log size and checkpoint position; Close
 // releases the log so another process can open it.
+//
+// # Observability
+//
+// WithMetrics turns on the telemetry spine: Session.Metrics returns a
+// registry of atomic counters, gauges and fixed-bucket histograms that
+// every layer stamps — per-stage and per-task durations for each run
+// and reaction, shard reuse, publish delta shapes, serve reads and
+// typed read errors, change-feed fan-out, and (for durable sessions)
+// WAL activity. Metrics.WritePrometheus renders a deterministic
+// Prometheus text exposition, safe to scrape from any goroutine while
+// the session reacts; cmd/wrangle -serve mounts it at GET /metrics and
+// net/http/pprof behind -pprof. Telemetry is off by default and the
+// disabled path costs one nil check per site (Session.Metrics returns
+// nil). The README's Observability section holds the metric catalogue.
 package wrangle

@@ -1,0 +1,60 @@
+package wrangle
+
+import "repro/internal/obs"
+
+// Metrics is a session's telemetry registry: named atomic counters,
+// gauges and fixed-bucket histograms, rendered in Prometheus text
+// format by WritePrometheus. Registration is get-or-create, so callers
+// may register their own application metrics alongside the session's
+// (cmd/watchload records its delivery-latency histogram this way).
+//
+// See the README's Observability section for the metric catalogue.
+type Metrics = obs.Registry
+
+// Counter is a monotonically increasing atomic counter; nil-safe.
+type Counter = obs.Counter
+
+// Gauge is an atomic float64 gauge; nil-safe.
+type Gauge = obs.Gauge
+
+// Histogram is a fixed-bucket cumulative histogram with allocation-free
+// observation and quantile estimation; nil-safe.
+type Histogram = obs.Histogram
+
+// NewHistogram builds a standalone histogram (not attached to any
+// registry) with the given upper bucket bounds.
+func NewHistogram(bounds []float64) *Histogram { return obs.NewHistogram(bounds) }
+
+// DurationBuckets returns the default histogram bounds for durations in
+// seconds (100µs … 10s).
+func DurationBuckets() []float64 { return obs.DurationBuckets() }
+
+// SizeBuckets returns the default histogram bounds for byte sizes
+// (256B … 16MiB).
+func SizeBuckets() []float64 { return obs.SizeBuckets() }
+
+// WithMetrics enables session telemetry: every pipeline run and
+// reaction records per-stage and per-task duration histograms, shard
+// reuse ratios and publish delta sizes; the serve store counts
+// lock-free reads, time-travel reads, typed read errors and change-feed
+// subscribe/delivery/eviction traffic; durable sessions additionally
+// count WAL appends, bytes, fsyncs, compactions and replay
+// truncations. Retrieve the registry with Session.Metrics.
+//
+// Without this option telemetry is off and Session.Metrics returns
+// nil; every instrumentation site then costs a single nil check, so
+// the disabled path stays out of hot-path profiles.
+func WithMetrics() Option {
+	return func(s *settings) error {
+		s.metrics = true
+		return nil
+	}
+}
+
+// Metrics returns the session's telemetry registry, or nil when the
+// session was built without WithMetrics. The registry is safe for
+// concurrent use — scrape it from any goroutine while the session
+// reacts.
+func (s *Session) Metrics() *Metrics {
+	return s.w.Metrics()
+}

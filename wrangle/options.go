@@ -51,6 +51,8 @@ type settings struct {
 	durableFsync    FsyncPolicy
 	durableFsyncSet bool
 
+	metrics bool
+
 	seed         int64
 	synthSources int
 }

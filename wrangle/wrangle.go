@@ -5,6 +5,7 @@ import (
 
 	wctx "repro/internal/context"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // New builds a wrangling session from functional options. With no options
@@ -106,6 +107,11 @@ func New(opts ...Option) (*Session, error) {
 		// may proceed without a fresh Run.
 		sess.ran = restored
 		sess.restored = restored
+	}
+	if s.metrics {
+		// Last: the registry instruments the serve store and (when
+		// durable) the WAL, both of which must exist first.
+		w.SetMetrics(obs.NewRegistry())
 	}
 	return sess, nil
 }
