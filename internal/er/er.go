@@ -82,23 +82,32 @@ func (r *Resolver) Features(t *dataset.Table, i, j int) []float64 {
 	}
 	na, nb := get(r.NameColumn, i), get(r.NameColumn, j)
 	if !na.IsNull() && !nb.IsNull() {
-		sa, sb := na.String(), nb.String()
-		jw := text.JaroWinkler(text.Normalize(sa), text.Normalize(sb))
+		// Normalize each name once: the previous shape normalized both
+		// for JaroWinkler, threw the results away, and let MongeElkanSym
+		// re-tokenize the raw strings. Normalize is Tokenize rejoined on
+		// single spaces, so Monge-Elkan over the normalized strings sees
+		// the exact token lists the raw strings would tokenize to — the
+		// scores are bit-identical.
+		nsa, nsb := text.Normalize(na.String()), text.Normalize(nb.String())
+		jw := text.JaroWinkler(nsa, nsb)
 		if jw < 0.5 {
 			// Token alignment cannot rescue a pair this dissimilar; skip
 			// the expensive Monge-Elkan pass (hot path: blocking emits
 			// many low-similarity candidates).
 			f[1] = jw
 		} else {
-			f[1] = 0.5*jw + 0.5*text.MongeElkanSym(sa, sb)
+			f[1] = 0.5*jw + 0.5*text.MongeElkanSym(nsa, nsb)
 		}
 	}
 	va, vb := get(r.SecondaryColumn, i), get(r.SecondaryColumn, j)
 	if !va.IsNull() && !vb.IsNull() {
-		if text.Normalize(va.String()) == text.Normalize(vb.String()) {
+		// Hoisted: the miss path used to normalize both values a second
+		// time for the similarity fallback.
+		nva, nvb := text.Normalize(va.String()), text.Normalize(vb.String())
+		if nva == nvb {
 			f[2] = 1
 		} else {
-			f[2] = text.JaroWinkler(text.Normalize(va.String()), text.Normalize(vb.String()))
+			f[2] = text.JaroWinkler(nva, nvb)
 		}
 	}
 	pa, pb := get(r.NumericColumn, i), get(r.NumericColumn, j)
