@@ -94,9 +94,42 @@ func LevenshteinSimilarity(a, b string) float64 {
 	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
 }
 
+// Scratch holds the reusable match buffers behind the rune-based
+// similarity fast paths (JaroRunes and friends), so hot loops scoring
+// millions of pairs allocate nothing per call. The zero value is ready to
+// use. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	matchA, matchB []bool
+}
+
+// bufs returns two zeroed bool buffers of the requested lengths, growing
+// the scratch storage as needed.
+func (s *Scratch) bufs(la, lb int) ([]bool, []bool) {
+	if cap(s.matchA) < la {
+		s.matchA = make([]bool, la)
+	} else {
+		s.matchA = s.matchA[:la]
+		clear(s.matchA)
+	}
+	if cap(s.matchB) < lb {
+		s.matchB = make([]bool, lb)
+	} else {
+		s.matchB = s.matchB[:lb]
+		clear(s.matchB)
+	}
+	return s.matchA, s.matchB
+}
+
 // Jaro returns the Jaro similarity of a and b in [0,1].
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	var sc Scratch
+	return JaroRunes([]rune(a), []rune(b), &sc)
+}
+
+// JaroRunes is Jaro over pre-converted rune slices with caller-owned
+// scratch — the allocation-free form for hot loops that compare the same
+// precomputed strings against many candidates.
+func JaroRunes(ra, rb []rune, sc *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -112,8 +145,7 @@ func Jaro(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	matchA := make([]bool, la)
-	matchB := make([]bool, lb)
+	matchA, matchB := sc.bufs(la, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -157,9 +189,15 @@ func Jaro(a, b string) float64 {
 // JaroWinkler boosts Jaro similarity for strings sharing a common prefix
 // (up to 4 runes) with scaling factor 0.1, the standard parameters.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
+	var sc Scratch
+	return JaroWinklerRunes([]rune(a), []rune(b), &sc)
+}
+
+// JaroWinklerRunes is JaroWinkler over pre-converted rune slices with
+// caller-owned scratch.
+func JaroWinklerRunes(ra, rb []rune, sc *Scratch) float64 {
+	j := JaroRunes(ra, rb, sc)
 	prefix := 0
-	ra, rb := []rune(a), []rune(b)
 	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
 		prefix++
 	}
@@ -241,7 +279,35 @@ func Normalize(s string) string {
 // of the best JaroWinkler match in b's tokens. It is asymmetric; use
 // MongeElkanSym for a symmetric score.
 func MongeElkan(a, b string) float64 {
-	ta, tb := Tokenize(a), Tokenize(b)
+	var sc Scratch
+	return MongeElkanTokens(TokenRunes(Tokenize(a)), TokenRunes(Tokenize(b)), &sc)
+}
+
+// MongeElkanSym returns the mean of MongeElkan in both directions.
+func MongeElkanSym(a, b string) float64 {
+	var sc Scratch
+	ta, tb := TokenRunes(Tokenize(a)), TokenRunes(Tokenize(b))
+	return (MongeElkanTokens(ta, tb, &sc) + MongeElkanTokens(tb, ta, &sc)) / 2
+}
+
+// TokenRunes converts a token list to rune slices, the form the
+// allocation-free Monge-Elkan fast path consumes. Callers precomputing
+// per-row token state do this once per row instead of once per pair.
+func TokenRunes(toks []string) [][]rune {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([][]rune, len(toks))
+	for i, t := range toks {
+		out[i] = []rune(t)
+	}
+	return out
+}
+
+// MongeElkanTokens is MongeElkan over pre-tokenized, pre-converted token
+// lists with caller-owned scratch: the mean over ta of the best
+// JaroWinkler match in tb.
+func MongeElkanTokens(ta, tb [][]rune, sc *Scratch) float64 {
 	if len(ta) == 0 {
 		if len(tb) == 0 {
 			return 1
@@ -252,7 +318,7 @@ func MongeElkan(a, b string) float64 {
 	for _, x := range ta {
 		best := 0.0
 		for _, y := range tb {
-			if s := JaroWinkler(x, y); s > best {
+			if s := JaroWinklerRunes(x, y, sc); s > best {
 				best = s
 			}
 		}
@@ -261,9 +327,10 @@ func MongeElkan(a, b string) float64 {
 	return sum / float64(len(ta))
 }
 
-// MongeElkanSym returns the mean of MongeElkan in both directions.
-func MongeElkanSym(a, b string) float64 {
-	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+// MongeElkanSymTokens returns the mean of MongeElkanTokens in both
+// directions.
+func MongeElkanSymTokens(ta, tb [][]rune, sc *Scratch) float64 {
+	return (MongeElkanTokens(ta, tb, sc) + MongeElkanTokens(tb, ta, sc)) / 2
 }
 
 // Soundex returns the classic 4-character Soundex code of the first word of
