@@ -25,6 +25,7 @@ func (r *Resolver) ResolveConstrained(t *dataset.Table, must, cannot []Pair) (*C
 	if r.NameColumn == "" && r.KeyColumn == "" {
 		return nil, 0, fmt.Errorf("er: resolver needs at least a key or name column")
 	}
+	r.Prepare(t)
 	rows := make([]int, t.Len())
 	for i := range rows {
 		rows[i] = i

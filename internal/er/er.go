@@ -7,6 +7,7 @@ package er
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -38,6 +39,12 @@ type Resolver struct {
 
 	BlockGramSize int // q for blocking grams (default 3)
 	MaxBlockSize  int // blocks larger than this are skipped (default 60)
+
+	// prep is the per-row precomputed feature state (prep.go): built once
+	// per table by Prepare (the resolve entry points call it), read-only
+	// during the shard fan-out, ignored whenever the table or the
+	// configuration above no longer matches it.
+	prep *tableFeatures
 }
 
 // NewResolver returns a resolver with sensible default weights for product
@@ -65,74 +72,104 @@ const Missing = -1.0
 // Features computes the similarity feature vector for a record pair.
 // Entries are in [0,1] or Missing.
 func (r *Resolver) Features(t *dataset.Table, i, j int) []float64 {
-	f := []float64{Missing, Missing, Missing, Missing}
-	get := func(col string, row int) dataset.Value {
-		if col == "" {
-			return dataset.Null()
+	f := make([]float64, len(FeatureNames))
+	var sc text.Scratch
+	r.featuresInto(t, i, j, f, &sc)
+	return f
+}
+
+// featuresInto is Features writing into a caller-owned vector with
+// caller-owned similarity scratch — the allocation-free form the resolve
+// hot loop drives. With prepared per-row state (prep.go) a pair touches
+// no string machinery at all; without it the per-pair path runs, with
+// the four column indices resolved once instead of once per field.
+func (r *Resolver) featuresInto(t *dataset.Table, i, j int, f []float64, sc *text.Scratch) {
+	f[0], f[1], f[2], f[3] = Missing, Missing, Missing, Missing
+	if p := r.prep; p.valid(r, t) {
+		a, b := &p.rows[i], &p.rows[j]
+		if a.keyOK && b.keyOK {
+			if a.key == b.key {
+				f[0] = 1
+			} else {
+				f[0] = 0
+			}
 		}
-		return t.Get(row, col)
+		if a.nameOK && b.nameOK {
+			f[1] = p.nameSim(a.nameID, b.nameID, sc)
+		}
+		if a.secOK && b.secOK {
+			if a.sec == b.sec {
+				f[2] = 1
+			} else {
+				f[2] = p.secSim(a.secID, b.secID, sc)
+			}
+		}
+		if a.numOK && b.numOK {
+			f[3] = numericSim(a.num, b.num)
+		}
+		return
 	}
-	ka, kb := get(r.KeyColumn, i), get(r.KeyColumn, j)
-	if !ka.IsNull() && !kb.IsNull() {
-		if text.Normalize(ka.String()) == text.Normalize(kb.String()) {
+	schema := t.Schema()
+	ki := colIndex(schema, r.KeyColumn)
+	ni := colIndex(schema, r.NameColumn)
+	si := colIndex(schema, r.SecondaryColumn)
+	pi := colIndex(schema, r.NumericColumn)
+	ra, rb := t.Row(i), t.Row(j)
+	if ki >= 0 && !ra[ki].IsNull() && !rb[ki].IsNull() {
+		if text.Normalize(ra[ki].String()) == text.Normalize(rb[ki].String()) {
 			f[0] = 1
 		} else {
 			f[0] = 0
 		}
 	}
-	na, nb := get(r.NameColumn, i), get(r.NameColumn, j)
-	if !na.IsNull() && !nb.IsNull() {
-		// Normalize each name once: the previous shape normalized both
-		// for JaroWinkler, threw the results away, and let MongeElkanSym
-		// re-tokenize the raw strings. Normalize is Tokenize rejoined on
-		// single spaces, so Monge-Elkan over the normalized strings sees
-		// the exact token lists the raw strings would tokenize to — the
-		// scores are bit-identical.
-		nsa, nsb := text.Normalize(na.String()), text.Normalize(nb.String())
+	if ni >= 0 && !ra[ni].IsNull() && !rb[ni].IsNull() {
+		nsa, nsb := text.Normalize(ra[ni].String()), text.Normalize(rb[ni].String())
 		jw := text.JaroWinkler(nsa, nsb)
 		if jw < 0.5 {
-			// Token alignment cannot rescue a pair this dissimilar; skip
-			// the expensive Monge-Elkan pass (hot path: blocking emits
-			// many low-similarity candidates).
 			f[1] = jw
 		} else {
+			// Normalize is Tokenize rejoined on single spaces, so
+			// Monge-Elkan over the normalized strings sees the exact
+			// token lists the raw strings would tokenize to.
 			f[1] = 0.5*jw + 0.5*text.MongeElkanSym(nsa, nsb)
 		}
 	}
-	va, vb := get(r.SecondaryColumn, i), get(r.SecondaryColumn, j)
-	if !va.IsNull() && !vb.IsNull() {
-		// Hoisted: the miss path used to normalize both values a second
-		// time for the similarity fallback.
-		nva, nvb := text.Normalize(va.String()), text.Normalize(vb.String())
+	if si >= 0 && !ra[si].IsNull() && !rb[si].IsNull() {
+		nva, nvb := text.Normalize(ra[si].String()), text.Normalize(rb[si].String())
 		if nva == nvb {
 			f[2] = 1
 		} else {
 			f[2] = text.JaroWinkler(nva, nvb)
 		}
 	}
-	pa, pb := get(r.NumericColumn, i), get(r.NumericColumn, j)
-	if pa.IsNumeric() && pb.IsNumeric() {
-		x, y := pa.FloatVal(), pb.FloatVal()
-		if x == y {
-			f[3] = 1
-		} else {
-			den := x
-			if y > x {
-				den = y
-			}
-			if den != 0 {
-				d := (x - y) / den
-				if d < 0 {
-					d = -d
-				}
-				f[3] = 1 - d
-				if f[3] < 0 {
-					f[3] = 0
-				}
-			}
-		}
+	if pi >= 0 && ra[pi].IsNumeric() && rb[pi].IsNumeric() {
+		f[3] = numericSim(ra[pi].FloatVal(), rb[pi].FloatVal())
 	}
-	return f
+}
+
+// numericSim is the relative-difference similarity both Features paths
+// share: 1 at equality, linearly down to 0, Missing when the larger
+// magnitude is zero (no meaningful denominator).
+func numericSim(x, y float64) float64 {
+	if x == y {
+		return 1
+	}
+	den := x
+	if y > x {
+		den = y
+	}
+	if den == 0 {
+		return Missing
+	}
+	d := (x - y) / den
+	if d < 0 {
+		d = -d
+	}
+	s := 1 - d
+	if s < 0 {
+		s = 0
+	}
+	return s
 }
 
 // Score combines a feature vector with the learned weights, renormalising
@@ -161,6 +198,11 @@ func (r *Resolver) Score(features []float64) float64 {
 // exactly the keys CandidatePairs blocks on, factored out so the
 // incremental re-plan (replan.go) re-blocks a changed row identically.
 func (r *Resolver) blockKeysOf(t *dataset.Table, i int) []string {
+	if p := r.prep; p.valid(r, t) {
+		// Precomputed once per union build; callers treat the slice as
+		// read-only.
+		return p.rows[i].blockKeys
+	}
 	var keys []string
 	if r.KeyColumn != "" {
 		if v := t.Get(i, r.KeyColumn); !v.IsNull() {
@@ -195,12 +237,19 @@ func (r *Resolver) CandidatePairs(t *dataset.Table) []Pair {
 			blocks[k] = append(blocks[k], i)
 		}
 	}
-	pairSet := map[Pair]bool{}
 	keys := make([]string, 0, len(blocks))
-	for k := range blocks {
+	total := 0
+	for k, rows := range blocks {
 		keys = append(keys, k)
+		if n := len(rows); n >= 2 && n <= r.MaxBlockSize {
+			total += n * (n - 1) / 2
+		}
 	}
 	sort.Strings(keys)
+	// One slab for every block's pairs, then sort + compact in place —
+	// identical output to the map-based dedup without its per-insert
+	// allocations.
+	out := make([]Pair, 0, total)
 	for _, k := range keys {
 		rows := blocks[k]
 		if len(rows) < 2 || len(rows) > r.MaxBlockSize {
@@ -212,21 +261,36 @@ func (r *Resolver) CandidatePairs(t *dataset.Table) []Pair {
 				if p.I > p.J {
 					p.I, p.J = p.J, p.I
 				}
-				pairSet[p] = true
+				out = append(out, p)
 			}
 		}
 	}
-	out := make([]Pair, 0, len(pairSet))
-	for p := range pairSet {
-		out = append(out, p)
+	return sortDedupPairs(out)
+}
+
+// sortDedupPairs sorts pairs by (I, J) and removes duplicates in place —
+// the shared tail of the two blocking enumerations (CandidatePairs and
+// blockIndex.pairs), whose output order is part of the determinism
+// contract.
+func sortDedupPairs(out []Pair) []Pair {
+	// Row indices are non-negative and well under 2³¹, so (I, J) packs
+	// into one int64 whose integer order is exactly the (I, J) lexical
+	// order — and the specialized integer sort avoids the per-comparison
+	// function calls that made the generic sort ~15% of the tail's CPU.
+	packed := make([]int64, len(out))
+	for i, p := range out {
+		packed[i] = int64(p.I)<<32 | int64(p.J)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].I != out[b].I {
-			return out[a].I < out[b].I
+	slices.Sort(packed)
+	j := 0
+	for i, v := range packed {
+		if i > 0 && v == packed[i-1] {
+			continue
 		}
-		return out[a].J < out[b].J
-	})
-	return out
+		out[j] = Pair{I: int(v >> 32), J: int(v & 0xffffffff)}
+		j++
+	}
+	return out[:j]
 }
 
 // Clustering is a partition of table rows into entities.
@@ -253,6 +317,7 @@ func (r *Resolver) Resolve(t *dataset.Table) (*Clustering, error) {
 	if r.NameColumn == "" && r.KeyColumn == "" {
 		return nil, fmt.Errorf("er: resolver needs at least a key or name column")
 	}
+	r.Prepare(t)
 	parent := make([]int, t.Len())
 	for i := range parent {
 		parent[i] = i
@@ -271,8 +336,11 @@ func (r *Resolver) Resolve(t *dataset.Table) (*Clustering, error) {
 			parent[ra] = rb
 		}
 	}
+	var sc text.Scratch
+	f := make([]float64, len(FeatureNames))
 	for _, p := range r.CandidatePairs(t) {
-		if r.Score(r.Features(t, p.I, p.J)) >= r.Threshold {
+		r.featuresInto(t, p.I, p.J, f, &sc)
+		if r.Score(f) >= r.Threshold {
 			union(p.I, p.J)
 		}
 	}

@@ -1,0 +1,236 @@
+package er
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/text"
+)
+
+// This file is the matcher's per-row precompute: everything Features and
+// blockKeysOf derive from a single row's values — normalized key and
+// secondary strings, tokenized name fields (as runes, the form the
+// similarity fast paths consume), numeric value, block keys — is computed
+// once per union build instead of once per candidate pair. A scored pair
+// used to re-normalize up to six strings and re-tokenize both names
+// inside Monge-Elkan; with the precompute it touches no string machinery
+// at all.
+//
+// Values are additionally de-duplicated: a union over many overlapping
+// sources repeats the same normalized name on dozens of rows, so rows
+// carry an id into a distinct-value table and similarities are memoized
+// per distinct id pair (simMemo below). The state is built
+// single-threaded (the plan stage / resolve entry points) and is
+// read-only during the shard fan-out except for the memo, which is
+// mutex-guarded. Every value is derived by the exact deterministic
+// functions the per-pair path applied, so scores are bit-identical —
+// pinned by the equivalence test and the wrangletest fingerprint
+// harness.
+
+// rowFeatures is one row's precomputed matcher state. The name/secondary
+// slices alias the table-wide distinct-value entries.
+type rowFeatures struct {
+	keyOK bool
+	key   string // Normalize(key value)
+
+	nameOK   bool
+	nameID   int
+	name     []rune   // Normalize(name value), as runes
+	nameToks [][]rune // Tokenize(name value), as runes
+
+	secOK    bool
+	secID    int
+	sec      string // Normalize(secondary value)
+	secRunes []rune
+
+	numOK bool
+	num   float64
+
+	blockKeys []string // exactly blockKeysOf's keys for this row
+}
+
+// simMemo caches a similarity score per distinct-value id pair. Both
+// JaroWinkler and the symmetrized Monge-Elkan blend are bit-exactly
+// symmetric (their formulas combine the directional terms with
+// commutative additions), so the pair is canonicalized to (lo, hi) and
+// one cached float serves both call directions. Lookups happen inside
+// the concurrent resolve fan-out, hence the mutex; the lock is released
+// around the compute, so two goroutines may race to fill the same entry
+// — they compute the identical float, and whichever store wins is
+// indistinguishable.
+type simMemo struct {
+	mu sync.Mutex
+	m  map[int64]float64
+}
+
+func (s *simMemo) get(ia, ib, n int, sc *text.Scratch, compute func(lo, hi int, sc *text.Scratch) float64) float64 {
+	lo, hi := ia, ib
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	k := int64(lo)*int64(n) + int64(hi)
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := compute(lo, hi, sc)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[int64]float64{}
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	return v
+}
+
+// tableFeatures is the per-table feature state plus the resolver
+// configuration it was derived under — Features and blockKeysOf use it
+// only while both the table and the configuration still match, falling
+// back to the per-pair path otherwise.
+type tableFeatures struct {
+	t *dataset.Table
+
+	keyCol, nameCol, secCol, numCol string
+	gram                            int
+
+	rows []rowFeatures
+
+	// Distinct-value tables, indexed by rowFeatures.nameID / secID.
+	names     [][]rune
+	nameToks  [][][]rune
+	secStrs   []string
+	secRunes  [][]rune
+	nameMemo  simMemo
+	secMemo   simMemo
+}
+
+// nameSim is the name feature for two prepared rows, memoized per
+// distinct name pair: JaroWinkler, blended with symmetric Monge-Elkan
+// only when the pair clears 0.5 (token alignment cannot rescue a pair
+// more dissimilar than that, and blocking emits many such candidates).
+func (p *tableFeatures) nameSim(ia, ib int, sc *text.Scratch) float64 {
+	return p.nameMemo.get(ia, ib, len(p.names), sc, func(lo, hi int, sc *text.Scratch) float64 {
+		jw := text.JaroWinklerRunes(p.names[lo], p.names[hi], sc)
+		if jw < 0.5 {
+			return jw
+		}
+		return 0.5*jw + 0.5*text.MongeElkanSymTokens(p.nameToks[lo], p.nameToks[hi], sc)
+	})
+}
+
+// secSim is the secondary feature for two prepared rows with unequal
+// normalized values, memoized per distinct pair.
+func (p *tableFeatures) secSim(ia, ib int, sc *text.Scratch) float64 {
+	return p.secMemo.get(ia, ib, len(p.secStrs), sc, func(lo, hi int, sc *text.Scratch) float64 {
+		return text.JaroWinklerRunes(p.secRunes[lo], p.secRunes[hi], sc)
+	})
+}
+
+// valid reports whether the precomputed state may serve the resolver's
+// current configuration over table t.
+func (p *tableFeatures) valid(r *Resolver, t *dataset.Table) bool {
+	return p != nil && p.t == t && len(p.rows) == t.Len() &&
+		p.keyCol == r.KeyColumn && p.nameCol == r.NameColumn &&
+		p.secCol == r.SecondaryColumn && p.numCol == r.NumericColumn &&
+		p.gram == r.BlockGramSize
+}
+
+// colIndex resolves a configured column to its schema index, -1 when the
+// column is unset or absent (the per-pair path treated both as null).
+func colIndex(s dataset.Schema, name string) int {
+	if name == "" {
+		return -1
+	}
+	return s.Index(name)
+}
+
+// Prepare precomputes the per-row feature state for t, replacing any
+// previous state. Resolve, ResolveConstrained, PlanShards and RePlan call
+// it on entry; callers driving Features or ResolveShard directly may call
+// it themselves to get the allocation-free path. Prepare must not run
+// concurrently with Features (the resolve fan-out reads the state it
+// installs), which the pipeline's plan-stage/fan-out ordering guarantees.
+func (r *Resolver) Prepare(t *dataset.Table) {
+	schema := t.Schema()
+	ki := colIndex(schema, r.KeyColumn)
+	ni := colIndex(schema, r.NameColumn)
+	si := colIndex(schema, r.SecondaryColumn)
+	pi := colIndex(schema, r.NumericColumn)
+	p := &tableFeatures{
+		t:       t,
+		keyCol:  r.KeyColumn,
+		nameCol: r.NameColumn,
+		secCol:  r.SecondaryColumn,
+		numCol:  r.NumericColumn,
+		gram:    r.BlockGramSize,
+		rows:    make([]rowFeatures, t.Len()),
+	}
+	// Distinct-value registries: tokenization, rune conversion and q-gram
+	// block keys are computed once per distinct normalized value, and the
+	// row entries alias the shared slices.
+	nameIDs := map[string]int{}
+	nameGrams := [][]string{} // per distinct name: its "g:" block keys
+	secIDs := map[string]int{}
+	seen := map[string]bool{} // per-name block-key dedup scratch
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		rf := &p.rows[i]
+		if ki >= 0 && !row[ki].IsNull() {
+			rf.keyOK = true
+			rf.key = text.Normalize(row[ki].String())
+			rf.blockKeys = append(rf.blockKeys, "k:"+rf.key)
+		}
+		if ni >= 0 && !row[ni].IsNull() {
+			rf.nameOK = true
+			toks := text.Tokenize(row[ni].String())
+			// Normalize is Tokenize rejoined on single spaces, so the
+			// normalized string falls out of the token pass for free.
+			norm := strings.Join(toks, " ")
+			id, ok := nameIDs[norm]
+			if !ok {
+				id = len(p.names)
+				nameIDs[norm] = id
+				p.names = append(p.names, []rune(norm))
+				p.nameToks = append(p.nameToks, text.TokenRunes(toks))
+				clear(seen)
+				var grams []string
+				for _, tok := range toks {
+					for _, g := range text.QGrams(tok, r.BlockGramSize) {
+						key := "g:" + g
+						if !seen[key] {
+							seen[key] = true
+							grams = append(grams, key)
+						}
+					}
+				}
+				nameGrams = append(nameGrams, grams)
+			}
+			rf.nameID = id
+			rf.name = p.names[id]
+			rf.nameToks = p.nameToks[id]
+			rf.blockKeys = append(rf.blockKeys, nameGrams[id]...)
+		}
+		if si >= 0 && !row[si].IsNull() {
+			rf.secOK = true
+			norm := text.Normalize(row[si].String())
+			id, ok := secIDs[norm]
+			if !ok {
+				id = len(p.secStrs)
+				secIDs[norm] = id
+				p.secStrs = append(p.secStrs, norm)
+				p.secRunes = append(p.secRunes, []rune(norm))
+			}
+			rf.secID = id
+			rf.sec = p.secStrs[id]
+			rf.secRunes = p.secRunes[id]
+		}
+		if pi >= 0 && row[pi].IsNumeric() {
+			rf.numOK = true
+			rf.num = row[pi].FloatVal()
+		}
+	}
+	r.prep = p
+}

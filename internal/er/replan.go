@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/text"
 )
 
 // This file is the incremental half of shard planning: a completed
@@ -56,12 +57,19 @@ func (r *Resolver) buildBlockIndex(t *dataset.Table, key func(int) string) *bloc
 // CandidatePairs over the same rows: blocks visited in sorted key order,
 // oversized blocks skipped, pairs deduplicated and sorted by (I, J).
 func (idx *blockIndex) pairs(rowIdx map[string]int, maxBlock int) ([]Pair, error) {
-	pairSet := map[Pair]bool{}
 	keys := make([]string, 0, len(idx.blocks))
-	for k := range idx.blocks {
+	total := 0
+	for k, set := range idx.blocks {
 		keys = append(keys, k)
+		if n := len(set); n >= 2 && n <= maxBlock {
+			total += n * (n - 1) / 2
+		}
 	}
 	sort.Strings(keys)
+	// One slab for every block's pairs, then the shared sort + in-place
+	// compact (sortDedupPairs) — the same output the map-based dedup
+	// produced, without its per-insert allocations.
+	out := make([]Pair, 0, total)
 	var member []int
 	for _, k := range keys {
 		set := idx.blocks[k]
@@ -82,21 +90,11 @@ func (idx *blockIndex) pairs(rowIdx map[string]int, maxBlock int) ([]Pair, error
 				if p.I > p.J {
 					p.I, p.J = p.J, p.I
 				}
-				pairSet[p] = true
+				out = append(out, p)
 			}
 		}
 	}
-	out := make([]Pair, 0, len(pairSet))
-	for p := range pairSet {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].I != out[b].I {
-			return out[a].I < out[b].I
-		}
-		return out[a].J < out[b].J
-	})
-	return out, nil
+	return sortDedupPairs(out), nil
 }
 
 // PlanState memoizes one completed plan+resolve round for incremental
@@ -277,6 +275,11 @@ func (r *Resolver) RePlan(t *dataset.Table, n int, must, cannot []Pair, rowKeys 
 		return freshRePlanned(plan, n, rowKeys), nil
 	}
 
+	// The incremental path re-blocks dirty rows and scores dirty pairs
+	// during the resolve fan-out; prepare the per-row feature state now,
+	// while still single-threaded (PlanShards does the same on the fresh
+	// path).
+	r.Prepare(t)
 	key := rowKeyFn(rowKeys)
 	rowIdx := rowIndexOf(t.Len(), key)
 
@@ -514,12 +517,15 @@ func (rp *RePlanned) ResolveDirty(r *Resolver, t *dataset.Table, shard int, must
 		return nil, 0, fmt.Errorf("er: shard %d out of range [0,%d)", shard, rp.Plan.NumShards)
 	}
 	fresh := rp.shardScores[shard]
+	var sc text.Scratch
+	f := make([]float64, len(FeatureNames))
 	score := func(p Pair) float64 {
 		k := pairKeyOf(rp.rowKeys, p)
 		if s, ok := rp.prevScores[k]; ok {
 			return s
 		}
-		s := r.Score(r.Features(t, p.I, p.J))
+		r.featuresInto(t, p.I, p.J, f, &sc)
+		s := r.Score(f)
 		fresh[k] = s
 		return s
 	}

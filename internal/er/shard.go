@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/dataset"
+	"repro/internal/text"
 )
 
 // This file partitions entity resolution by blocking key so the
@@ -66,6 +67,7 @@ func (r *Resolver) PlanShards(t *dataset.Table, n int, must []Pair, rowKeys []st
 	if n < 1 {
 		n = 1
 	}
+	r.Prepare(t)
 	key := rowKeyFn(rowKeys)
 	idx := r.buildBlockIndex(t, key)
 	pairs, err := idx.pairs(rowIndexOf(t.Len(), key), r.MaxBlockSize)
@@ -340,7 +342,9 @@ func (r *Resolver) resolveRowsScored(t *dataset.Table, rows []int, pairs, must, 
 		p Pair
 		s float64
 	}
-	var scored []scoredPair
+	scored := make([]scoredPair, 0, len(pairs))
+	var sc text.Scratch
+	f := make([]float64, len(FeatureNames))
 	for _, p := range pairs {
 		if _, _, ok := localPair(p); !ok {
 			continue
@@ -349,7 +353,8 @@ func (r *Resolver) resolveRowsScored(t *dataset.Table, rows []int, pairs, must, 
 		if score != nil {
 			s = score(p)
 		} else {
-			s = r.Score(r.Features(t, p.I, p.J))
+			r.featuresInto(t, p.I, p.J, f, &sc)
+			s = r.Score(f)
 		}
 		if s >= r.Threshold {
 			scored = append(scored, scoredPair{p: p, s: s})
