@@ -25,6 +25,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/fusion"
 	"repro/internal/html"
+	"repro/internal/intern"
 	"repro/internal/mapping"
 	"repro/internal/match"
 	"repro/internal/provenance"
@@ -167,6 +168,8 @@ type Wrangler struct {
 	resolver     *er.Resolver
 	union        *dataset.Table
 	unionSources []string // per-row source id
+	unionKeys    []string // per-row stable "source#idx" key, interned; rebuilt by buildUnion
+	interner     *intern.Table // run-lifetime interner behind unionKeys and entity ids
 	clusters     *er.Clustering
 	entityIDs    []string // per union row: fused entity id
 	results      []fusion.Result
@@ -206,6 +209,7 @@ func New(p sources.Provider, cfg Config, userCtx *wctx.UserContext, dataCtx *wct
 		Serve:    NewVersionStore(serve.DefaultRetain),
 		states:   map[string]*sourceState{},
 		trust:    map[string]float64{},
+		interner: intern.New(),
 	}
 }
 
@@ -654,6 +658,7 @@ func (w *Wrangler) integrate() error {
 func (w *Wrangler) buildUnion() (empty bool, err error) {
 	w.union = dataset.NewTable(w.Config.Target.Clone())
 	w.unionSources = w.unionSources[:0]
+	w.unionKeys = nil // derived from unionSources; rebuilt lazily by rowKeys
 	ids := w.selectedIDs()
 	for _, id := range ids {
 		st := w.states[id]
@@ -776,14 +781,7 @@ func (w *Wrangler) rowKeyIndex() map[string]int {
 
 // RowKey returns the feedback addressing key for union row i.
 func (w *Wrangler) RowKey(i int) string {
-	count := 0
-	src := w.unionSources[i]
-	for j := 0; j < i; j++ {
-		if w.unionSources[j] == src {
-			count++
-		}
-	}
-	return rowKey(src, count)
+	return w.rowKeys()[i]
 }
 
 // fuse builds claims from the union rows grouped by cluster and fuses them
@@ -820,11 +818,17 @@ func (w *Wrangler) fuse() error {
 // accumulation depend on. The freshness column feeds each claim's AsOf
 // and is not itself claimed.
 func (w *Wrangler) buildClaims() []fusion.Claim {
-	var claims []fusion.Claim
 	tc := -1
 	if w.Config.TimeColumn != "" {
 		tc = w.union.Schema().Index(w.Config.TimeColumn)
 	}
+	perRow := len(w.union.Schema())
+	if tc >= 0 {
+		perRow--
+	}
+	// One slab for the whole tail's claims: the exact count is known up
+	// front, so the append loop never regrows.
+	claims := make([]fusion.Claim, 0, w.union.Len()*perRow)
 	for i, r := range w.union.Rows() {
 		asOf := time.Time{}
 		if tc >= 0 && r[tc].Kind() == dataset.KindTime {
@@ -917,6 +921,13 @@ func (w *Wrangler) entityNames() []string {
 		}
 		if best == "" {
 			best = fmt.Sprintf("entity-%04d", cid)
+		}
+		if w.interner != nil {
+			// One canonical id instance per entity across reactions; the
+			// fusion group keys and page bookkeeping built from these ids
+			// then compare against the previous round's by cheap
+			// pointer-equal strings.
+			best = w.interner.Str(best)
 		}
 		for _, row := range rows {
 			names[row] = best

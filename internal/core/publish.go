@@ -77,7 +77,7 @@ func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
 	}
 	pub := Published{
 		Table:    w.publishTable(),
-		Report:   report.Build(w, fmt.Sprintf("wrangled (%s)", origin), nil),
+		Report:   report.Build(w, publishTitle(origin), nil),
 		Stats:    w.LastStats.Clone(),
 		React:    react.Clone(),
 		Trust:    maps.Clone(w.trust),
@@ -93,6 +93,25 @@ func (w *Wrangler) publish(origin serve.Origin, react ReactStats) {
 		// always a coherent committed snapshot.
 		w.log.appendVersion(w, v)
 	}
+}
+
+// publishTitles precomputes the report title per known origin: publish is
+// on the per-reaction hot path (counted by the wrangle_publish metrics),
+// and the origin set is three values — formatting the same title on every
+// publish was pure churn.
+var publishTitles = map[serve.Origin]string{
+	serve.OriginRun:      "wrangled (" + string(serve.OriginRun) + ")",
+	serve.OriginFeedback: "wrangled (" + string(serve.OriginFeedback) + ")",
+	serve.OriginRefresh:  "wrangled (" + string(serve.OriginRefresh) + ")",
+}
+
+// publishTitle returns the precomputed title for a known origin, falling
+// back to formatting for any future origin value.
+func publishTitle(origin serve.Origin) string {
+	if t, ok := publishTitles[origin]; ok {
+		return t
+	}
+	return fmt.Sprintf("wrangled (%s)", origin)
 }
 
 // publishTable hands the next version its table. The sequential tail

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/er"
 	"repro/internal/fusion"
+	"repro/internal/intern"
 	"repro/internal/provenance"
 	"repro/internal/serve"
 )
@@ -268,9 +269,29 @@ func (w *Wrangler) shardClusterStage(sr *shardRun) error {
 	w.entityShard = entityShard
 	claims := w.buildClaims()
 	sr.estimateTrust(w, claims)
+	// Partition claims by owning shard into one backing slab: counts are
+	// known after one pass, so each shard's slice is carved out of a
+	// single allocation, claim order preserved within each shard.
+	counts := make([]int, len(sr.claims))
+	for _, c := range claims {
+		counts[entityShard[c.Entity]]++
+	}
+	slab := make([]fusion.Claim, len(claims))
+	next := make([]int, len(sr.claims))
+	off := 0
+	for s, n := range counts {
+		next[s] = off
+		off += n
+	}
 	for _, c := range claims {
 		s := entityShard[c.Entity]
-		sr.claims[s] = append(sr.claims[s], c)
+		slab[next[s]] = c
+		next[s]++
+	}
+	off = 0
+	for s, n := range counts {
+		sr.claims[s] = slab[off : off+n : off+n]
+		off += n
 	}
 	return nil
 }
@@ -456,21 +477,34 @@ func diffPage(prev, cur *shardPage, changed, removed map[string]bool) {
 
 // rowKey is THE "source#idxInSource" row identifier format — feedback
 // addressing (RowKey, rowKeyIndex) and shard routing (rowKeys) must
-// agree on it, so it exists exactly once.
+// agree on it, so it exists exactly once. The interner's Key method
+// (intern.Table) builds the identical format; rowKeys pins the agreement
+// with this function in its tests.
 func rowKey(src string, idxInSource int) string {
 	return fmt.Sprintf("%s#%d", src, idxInSource)
 }
 
 // rowKeys returns the stable feedback key of every union row — the
 // identifiers shard routing hashes, so a component keeps its shard
-// across reactions that only touch other sources.
+// across reactions that only touch other sources. Keys are interned for
+// the run's lifetime and the per-union slice is cached (buildUnion
+// invalidates it), so the repeated derivations across a tail — feedback
+// indexing, constraint mapping, shard planning — share one build.
+// Callers treat the returned slice as read-only.
 func (w *Wrangler) rowKeys() []string {
+	if w.unionKeys != nil && len(w.unionKeys) == len(w.unionSources) {
+		return w.unionKeys
+	}
+	if w.interner == nil {
+		w.interner = intern.New()
+	}
 	counts := map[string]int{}
 	out := make([]string, len(w.unionSources))
 	for i, src := range w.unionSources {
-		out[i] = rowKey(src, counts[src])
+		out[i] = w.interner.Key(src, counts[src])
 		counts[src]++
 	}
+	w.unionKeys = out
 	return out
 }
 

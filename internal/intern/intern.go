@@ -1,0 +1,46 @@
+// Package intern provides a per-run string interner for the stable
+// identifiers the pipeline otherwise rebuilds ad hoc on every tail: the
+// "source#idx" row keys that feedback addressing and shard routing share,
+// and recurring id strings such as entity names. Interning keeps one
+// canonical instance per distinct string across reactions, so a refresh
+// that rebuilds the union re-uses last round's keys instead of
+// re-formatting them.
+package intern
+
+import "strconv"
+
+// Table interns strings for the lifetime of one run (a Wrangler session).
+// It is not safe for concurrent use; the pipeline only touches it from
+// single-threaded stages (union build, the cluster barrier).
+type Table struct {
+	strs map[string]string
+	keys map[string][]string // source id -> its "source#idx" keys, by idx
+}
+
+// New returns an empty intern table.
+func New() *Table {
+	return &Table{
+		strs: map[string]string{},
+		keys: map[string][]string{},
+	}
+}
+
+// Str returns the canonical instance of s, registering it on first sight.
+func (t *Table) Str(s string) string {
+	if c, ok := t.strs[s]; ok {
+		return c
+	}
+	t.strs[s] = s
+	return s
+}
+
+// Key returns the interned "source#idx" row key, formatting each distinct
+// key at most once for the table's lifetime. idx must be >= 0.
+func (t *Table) Key(source string, idx int) string {
+	ks := t.keys[source]
+	for len(ks) <= idx {
+		ks = append(ks, source+"#"+strconv.Itoa(len(ks)))
+	}
+	t.keys[source] = ks
+	return ks[idx]
+}
