@@ -11,7 +11,9 @@ package fusion
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -128,16 +130,40 @@ func (o Options) normalized() Options {
 // and in-group claim order are both part of fusion's determinism
 // contract: bucket representatives and float accumulation follow them.
 func groupClaims(claims []Claim) (map[string][]Claim, []string) {
-	groups := map[string][]Claim{}
-	var keys []string
-	for _, c := range claims {
-		k := c.Entity + "\x1f" + c.Attribute
-		if _, ok := groups[k]; !ok {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], c)
+	// Key each claim once, sort claim indices by (key, input position),
+	// and carve the groups out of one slab: appending claims to
+	// map-valued slices re-copied every growing group and was the
+	// largest allocator in the refresh tail. The index sort is stable by
+	// construction (ties break on position), so each group holds its
+	// claims in input order, and the distinct keys fall out sorted —
+	// exactly what the append-and-sort version produced.
+	ckeys := make([]string, len(claims))
+	for i, c := range claims {
+		ckeys[i] = c.Entity + "\x1f" + c.Attribute
 	}
-	sort.Strings(keys)
+	idx := make([]int, len(claims))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := strings.Compare(ckeys[a], ckeys[b]); c != 0 {
+			return c
+		}
+		return a - b
+	})
+	slab := make([]Claim, len(claims))
+	groups := make(map[string][]Claim, len(claims)/4+1)
+	var keys []string
+	start := 0
+	for i, id := range idx {
+		slab[i] = claims[id]
+		if i+1 == len(idx) || ckeys[idx[i+1]] != ckeys[id] {
+			k := ckeys[id]
+			groups[k] = slab[start : i+1 : i+1]
+			keys = append(keys, k)
+			start = i + 1
+		}
+	}
 	return groups, keys
 }
 
@@ -375,62 +401,17 @@ func TrustOf(trust map[string]float64, defaultTrust float64, sourceID string) fl
 // Groups are visited in sorted key order — float accumulation is not
 // associative, so iterating the map directly would make trust (and with
 // it confidences and tie-broken winners) vary run to run.
+// Bucket formation is iteration-invariant (membership depends only on
+// values, not weights), so each group is prepared once and the fixpoint
+// runs over the prepared state instead of re-bucketizing every group on
+// every iteration. runTrustFixpoint is float-exact with the inline loop
+// this replaced — pinned by the equivalence property test in trust_test.
 func estimateTrust(groups map[string][]Claim, keys []string, opts *Options) {
-	// Initialise all sources.
+	tg := make(map[string]*trustGroup, len(keys))
 	for _, k := range keys {
-		for _, c := range groups[k] {
-			if _, ok := opts.Trust[c.SourceID]; !ok {
-				opts.Trust[c.SourceID] = opts.DefaultTrust
-			}
-		}
+		tg[k] = prepareTrustGroup(groups[k], opts.NumericTolerance)
 	}
-	for iter := 0; iter < opts.Iterations; iter++ {
-		sums := map[string]float64{}
-		counts := map[string]int{}
-		for _, k := range keys {
-			claims := groups[k]
-			buckets := bucketize(claims, *opts, func(c Claim) float64 { return trustOf(c.SourceID, *opts) })
-			total := 0.0
-			for _, b := range buckets {
-				total += b.weight
-			}
-			if total == 0 {
-				continue
-			}
-			for _, c := range claims {
-				if c.Value.IsNull() {
-					continue
-				}
-				for _, b := range buckets {
-					if sameValue(b.rep, c.Value, opts.NumericTolerance) {
-						sums[c.SourceID] += b.weight / total
-						counts[c.SourceID]++
-						break
-					}
-				}
-			}
-		}
-		// Sorted source order: delta's accumulation decides the early
-		// break below, so it must not depend on map iteration order.
-		srcs := make([]string, 0, len(sums))
-		for src := range sums {
-			srcs = append(srcs, src)
-		}
-		sort.Strings(srcs)
-		delta := 0.0
-		for _, src := range srcs {
-			if counts[src] == 0 || opts.Pinned[src] {
-				continue
-			}
-			// Damped update keeps the fixpoint stable.
-			next := 0.5*opts.Trust[src] + 0.5*(sums[src]/float64(counts[src]))
-			delta += math.Abs(next - opts.Trust[src])
-			opts.Trust[src] = next
-		}
-		if delta < 1e-6 {
-			break
-		}
-	}
+	runTrustFixpoint(keys, tg, opts)
 }
 
 // Accuracy scores fused results against a truth lookup: the fraction of

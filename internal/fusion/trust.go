@@ -6,7 +6,6 @@ import (
 	"slices"
 	"sort"
 
-	"repro/internal/dataset"
 	"repro/internal/text"
 )
 
@@ -41,39 +40,66 @@ type trustGroup struct {
 // it matches, which can be a bucket created after it.
 func prepareTrustGroup(claims []Claim, tol float64) *trustGroup {
 	g := &trustGroup{initSources: make([]string, 0, len(claims))}
-	var reps []dataset.Value
+	// Normalize each claim value once up front: sameValue's string leg
+	// normalizes both sides on every comparison, which multiplied out to
+	// claims × buckets × 2 normalizations per group. The cached form
+	// compares by the identical rules (relative numeric tolerance when
+	// both sides are numeric, normalized-string equality otherwise), so
+	// bucket formation is unchanged.
+	type normVal struct {
+		num  bool
+		f    float64
+		norm string
+	}
+	nv := make([]normVal, 0, len(claims))
 	for _, c := range claims {
 		g.initSources = append(g.initSources, c.SourceID)
 		if c.Value.IsNull() {
 			continue
 		}
 		g.sources = append(g.sources, c.SourceID)
+		v := normVal{num: c.Value.IsNumeric(), norm: text.Normalize(c.Value.String())}
+		if v.num {
+			v.f = c.Value.FloatVal()
+		}
+		nv = append(nv, v)
+	}
+	same := func(a, b normVal) bool {
+		if a.num && b.num {
+			if a.f == b.f {
+				return true
+			}
+			den := math.Max(math.Abs(a.f), math.Abs(b.f))
+			return den > 0 && math.Abs(a.f-b.f)/den <= tol
+		}
+		return a.norm == b.norm
+	}
+	var reps []int // bucket representatives, as indices into nv
+	g.claimBucket = make([]int, len(nv))
+	for ci, v := range nv {
 		bi := -1
-		for i, rep := range reps {
-			if sameValue(rep, c.Value, tol) {
+		for i, ri := range reps {
+			if same(nv[ri], v) {
 				bi = i
 				break
 			}
 		}
 		if bi < 0 {
 			bi = len(reps)
-			reps = append(reps, c.Value)
-			g.norms = append(g.norms, text.Normalize(c.Value.String()))
+			reps = append(reps, ci)
+			g.norms = append(g.norms, v.norm)
 		}
-		g.claimBucket = append(g.claimBucket, bi)
+		g.claimBucket[ci] = bi
 	}
-	ci := 0
-	g.match = make([][]bool, len(g.sources))
-	for _, c := range claims {
-		if c.Value.IsNull() {
-			continue
-		}
-		row := make([]bool, len(reps))
-		for i, rep := range reps {
-			row[i] = sameValue(rep, c.Value, tol)
+	// One flat slab for the match matrix instead of a row per claim.
+	slab := make([]bool, len(nv)*len(reps))
+	g.match = make([][]bool, len(nv))
+	for ci, v := range nv {
+		row := slab[ci*len(reps) : (ci+1)*len(reps)]
+		for i, ri := range reps {
+			row[i] = same(nv[ri], v)
 		}
 		g.match[ci] = row
-		ci++
 	}
 	return g
 }
@@ -89,12 +115,31 @@ func runTrustFixpoint(keys []string, groups map[string]*trustGroup, opts *Option
 			}
 		}
 	}
+	// Iteration-invariant scratch: bucket weights and traversal order are
+	// resized per group but reused across all groups and iterations, and
+	// the per-source accumulators are cleared rather than reallocated.
+	// Reused buffers see the identical sequence of float operations a
+	// fresh allocation would, so the fixpoint is unchanged bit for bit.
+	maxBuckets := 0
+	for _, k := range keys {
+		if n := len(groups[k].norms); n > maxBuckets {
+			maxBuckets = n
+		}
+	}
+	wbuf := make([]float64, maxBuckets)
+	obuf := make([]int, maxBuckets)
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var srcs []string
 	for iter := 0; iter < opts.Iterations; iter++ {
-		sums := map[string]float64{}
-		counts := map[string]int{}
+		clear(sums)
+		clear(counts)
 		for _, k := range keys {
 			g := groups[k]
-			w := make([]float64, len(g.norms))
+			w := wbuf[:len(g.norms)]
+			for i := range w {
+				w[i] = 0
+			}
 			for ci, src := range g.sources {
 				w[g.claimBucket[ci]] += trustOf(src, *opts)
 			}
@@ -102,7 +147,7 @@ func runTrustFixpoint(keys []string, groups map[string]*trustGroup, opts *Option
 			// indices: identical comparison outcomes give the identical
 			// permutation, so the weight-sorted traversal below credits the
 			// same bucket per claim.
-			order := make([]int, len(w))
+			order := obuf[:len(w)]
 			for i := range order {
 				order[i] = i
 			}
@@ -129,7 +174,7 @@ func runTrustFixpoint(keys []string, groups map[string]*trustGroup, opts *Option
 				}
 			}
 		}
-		srcs := make([]string, 0, len(sums))
+		srcs = srcs[:0]
 		for src := range sums {
 			srcs = append(srcs, src)
 		}

@@ -214,22 +214,29 @@ func parseTag(s string) (string, map[string]string) {
 
 func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
 
+// Package-level replacers: a strings.Replacer builds its matching
+// machine lazily on first use, so constructing one per call rebuilt it
+// for every string — these two showed up in the refresh tail's
+// allocation profile.
+var (
+	unescaper = strings.NewReplacer(
+		"&amp;", "&", "&lt;", "<", "&gt;", ">",
+		"&quot;", `"`, "&#39;", "'", "&apos;", "'", "&nbsp;", " ",
+	)
+	escaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
+
 // Unescape replaces the common character entities with their characters.
 func Unescape(s string) string {
 	if !strings.ContainsRune(s, '&') {
 		return s
 	}
-	r := strings.NewReplacer(
-		"&amp;", "&", "&lt;", "<", "&gt;", ">",
-		"&quot;", `"`, "&#39;", "'", "&apos;", "'", "&nbsp;", " ",
-	)
-	return r.Replace(s)
+	return unescaper.Replace(s)
 }
 
 // Escape replaces HTML-significant characters with entities.
 func Escape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return escaper.Replace(s)
 }
 
 // Text returns the concatenated, whitespace-normalised text content of the

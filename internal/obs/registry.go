@@ -169,12 +169,13 @@ func labelSig(labels []string) string {
 	return b.String()
 }
 
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, `\"`+"\n") {
 		return v
 	}
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+	return labelEscaper.Replace(v)
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition

@@ -45,6 +45,7 @@ func DiscoverFDs(t *dataset.Table, minConf float64, minGroups int) []DiscoveredF
 		minGroups = 1
 	}
 	schema := t.Schema()
+	prof := profileColumns(t)
 	var out []DiscoveredFD
 	for li := range schema {
 		// Continuous numeric columns make meaningless determinants: a
@@ -57,7 +58,7 @@ func DiscoverFDs(t *dataset.Table, minConf float64, minGroups int) []DiscoveredF
 			if li == ri {
 				continue
 			}
-			conf, groups, ok := fdConfidence(t, li, ri)
+			conf, groups, ok := fdConfidence(prof, li, ri)
 			if !ok || groups < minGroups || conf < minConf {
 				continue
 			}
@@ -86,46 +87,92 @@ func DiscoverFDs(t *dataset.Table, minConf float64, minGroups int) []DiscoveredF
 	return out
 }
 
+// colProfile is one column's dictionary-encoded form: per row, the
+// distinct id of its group key (Value.Key) and of its normalized string
+// value, -1 for null. Encoding each column once replaces the string
+// hashing and re-normalization the O(columns²) dependency scan used to
+// repeat for every column pair — the scan was the dominant allocator in
+// the refresh tail after the matcher was fixed.
+type colProfile struct {
+	keyID  []int // per row; -1 when null
+	nKeys  int
+	normID []int // per row; -1 when null
+}
+
+// profileColumns dictionary-encodes every column of t.
+func profileColumns(t *dataset.Table) []colProfile {
+	prof := make([]colProfile, len(t.Schema()))
+	keyIDs := map[string]int{}
+	normIDs := map[string]int{}
+	for ci := range prof {
+		clear(keyIDs)
+		clear(normIDs)
+		p := &prof[ci]
+		p.keyID = make([]int, t.Len())
+		p.normID = make([]int, t.Len())
+		for i, r := range t.Rows() {
+			if r[ci].IsNull() {
+				p.keyID[i], p.normID[i] = -1, -1
+				continue
+			}
+			k := r[ci].Key()
+			id, ok := keyIDs[k]
+			if !ok {
+				id = len(keyIDs)
+				keyIDs[k] = id
+			}
+			p.keyID[i] = id
+			n := text.Normalize(r[ci].String())
+			id, ok = normIDs[n]
+			if !ok {
+				id = len(normIDs)
+				normIDs[n] = id
+			}
+			p.normID[i] = id
+		}
+		p.nKeys = len(keyIDs)
+	}
+	return prof
+}
+
 // fdConfidence measures how functionally li determines ri: rows agreeing
 // with their group majority / rows considered. Rows with null on either
-// side are skipped; ok is false when nothing could be measured.
-func fdConfidence(t *dataset.Table, li, ri int) (float64, int, bool) {
-	type group struct {
-		counts map[string]int
-		total  int
-	}
-	groups := map[string]*group{}
-	for _, r := range t.Rows() {
-		if r[li].IsNull() || r[ri].IsNull() {
+// side are skipped; ok is false when nothing could be measured. It
+// counts over the dictionary-encoded ids — the same partition the string
+// keys induced, so confidence is the identical integer ratio.
+func fdConfidence(prof []colProfile, li, ri int) (float64, int, bool) {
+	lhs, rhs := prof[li], prof[ri]
+	// counts[(g, v)] for group id g and value id v; totals and maxes per
+	// group id.
+	counts := map[int64]int{}
+	totals := make([]int, lhs.nKeys)
+	maxes := make([]int, lhs.nKeys)
+	for i, g := range lhs.keyID {
+		v := rhs.normID[i]
+		if g < 0 || v < 0 {
 			continue
 		}
-		k := r[li].Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{counts: map[string]int{}}
-			groups[k] = g
+		k := int64(g)<<32 | int64(v)
+		c := counts[k] + 1
+		counts[k] = c
+		totals[g]++
+		if c > maxes[g] {
+			maxes[g] = c
 		}
-		g.counts[text.Normalize(r[ri].String())]++
-		g.total++
 	}
-	if len(groups) == 0 {
-		return 0, 0, false
-	}
-	agree, total := 0, 0
-	for _, g := range groups {
-		max := 0
-		for _, n := range g.counts {
-			if n > max {
-				max = n
-			}
+	agree, total, groups := 0, 0, 0
+	for g, n := range totals {
+		if n == 0 {
+			continue
 		}
-		agree += max
-		total += g.total
+		groups++
+		agree += maxes[g]
+		total += n
 	}
 	if total == 0 {
 		return 0, 0, false
 	}
-	return float64(agree) / float64(total), len(groups), true
+	return float64(agree) / float64(total), groups, true
 }
 
 // ProfileAndRepair discovers near-exact dependencies (confidence in

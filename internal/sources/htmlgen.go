@@ -152,9 +152,12 @@ func (t *Template) RenderDetailPage(s *Source, i int) string {
 	return b.String()
 }
 
+// htmlEscaper is shared across calls — a Replacer builds its matcher on
+// first use, so a fresh one per call paid that build every time.
+var htmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
 func escape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return htmlEscaper.Replace(s)
 }
 
 func cssSafe(s string) string {
