@@ -375,6 +375,40 @@ func BenchmarkStreamingRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkFullTail is the PR-9 headline: the cost of one full
+// integration tail — union build, blocking, pair scoring, clustering,
+// trust fixpoint, fusion, merge and delta publication — over the
+// 24-source bench universe, with nothing dirty (an empty refresh batch
+// recomputes exactly the tail). This is the allocation-squeeze target:
+// interned row keys, per-row normalized feature state and preallocated
+// stage buffers attack the ~4k allocs/row the PR-4/PR-5 baselines
+// carried. Allocations per op are the headline number; `make bench`
+// records this table and BenchmarkStreamingRefresh to BENCH_PR9.json,
+// and `make bench-gate` fails the build if either regresses.
+func BenchmarkFullTail(b *testing.B) {
+	for _, shards := range []int{0, 1, 4, 8} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := wrangletest.NewWrangler(3, 24, shards)
+			if _, err := w.Run(); err != nil {
+				b.Fatal(err)
+			}
+			rows := w.Union().Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RefreshSourcesContext(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows), "union_rows")
+		})
+	}
+}
+
 // slowProvider adds a fixed acquisition latency to every Refresh —
 // the network- or disk-bound re-acquisition the ConcurrentProvider
 // contract exists to overlap.
