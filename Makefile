@@ -25,16 +25,18 @@ race:
 # throughput (1/4/16 concurrent readers against a mutating session) in
 # BENCH_PR3.json, the sharded integration tail (1/2/4/8 blocking
 # shards) plus delta-vs-full publication in BENCH_PR4.json, and the
-# streaming refresh (full vs dirty-shard partial tail at 1/4/8 shards)
-# plus concurrent source acquisition in BENCH_PR5.json, and the
+# concurrent source acquisition in BENCH_PR5.json, and the
 # change-feed fan-out (1/64/1024 subscribers, full vs delta frames, with
 # p50/p95/p99 delivery latency and frame bytes) in BENCH_PR6.json, and
 # the durable-log cold-vs-warm start (full pipeline run vs log replay +
 # first one-source reaction over a 24-source universe) in
 # BENCH_PR7.json, and the telemetry overhead (disabled-vs-enabled
 # metrics on the hot read path, plus /metrics scrape cost under
-# concurrent writes) in BENCH_PR8.json — the PR-over-PR perf
-# trajectory. The patterns are disjoint so nothing runs twice. Each
+# concurrent writes) in BENCH_PR8.json, and the allocation-squeeze
+# headline — one full integration tail (sequential and 1/4/8 shards)
+# plus the streaming refresh it subsumed from the PR5 line — in
+# BENCH_PR9.json — the PR-over-PR perf trajectory. The patterns are
+# disjoint so nothing runs twice. Each
 # BENCH file is benchstat-comparable: `go run ./cmd/benchgate -dump
 # BENCH_PR3.json > old.txt` converts the test2json stream to the plain
 # text benchstat consumes.
@@ -43,10 +45,11 @@ bench:
 	$(GO) test -bench=BenchmarkEngineParallelSources -benchmem -run=^$$ -json . > BENCH_PR2.json
 	$(GO) test -bench=BenchmarkServeReads -benchmem -run=^$$ -json . > BENCH_PR3.json
 	$(GO) test -bench='^Benchmark(ShardedIntegration|DeltaPublish)$$' -benchmem -run=^$$ -json . > BENCH_PR4.json
-	$(GO) test -bench='^Benchmark(StreamingRefresh|ConcurrentAcquire)$$' -benchmem -run=^$$ -json . > BENCH_PR5.json
+	$(GO) test -bench=BenchmarkConcurrentAcquire -benchmem -run=^$$ -json . > BENCH_PR5.json
 	$(GO) test -bench=BenchmarkWatchFanout -benchmem -run=^$$ -json . > BENCH_PR6.json
 	$(GO) test -bench=BenchmarkColdVsWarmStart -benchmem -run=^$$ -json . > BENCH_PR7.json
 	$(GO) test -bench='^Benchmark(MetricsOverhead|RegistryScrape)$$' -benchmem -run=^$$ -json . > BENCH_PR8.json
+	$(GO) test -bench='^Benchmark(FullTail|StreamingRefresh)$$' -benchmem -run=^$$ -json . > BENCH_PR9.json
 
 # bench-gate is the perf-trend gate CI runs: a fresh multi-sample run of
 # the serving-layer and telemetry benchmarks, compared against the
@@ -55,11 +58,11 @@ bench:
 # or allocs/op above baseline × 1.15). Profiles land in bench.cpu.pprof
 # / bench.mem.pprof for inspection.
 bench-gate:
-	$(GO) test -bench='^Benchmark(ServeReads|MetricsOverhead|RegistryScrape)$$' -benchmem -count=5 -run=^$$ \
+	$(GO) test -bench='^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail)$$' -benchmem -count=5 -run=^$$ \
 		-cpuprofile bench.cpu.pprof -memprofile bench.mem.pprof -json . > BENCH_GATE_NEW.json
 	$(GO) run ./cmd/benchgate -new BENCH_GATE_NEW.json \
-		-baseline BENCH_PR3.json -baseline BENCH_PR8.json \
-		-match '^Benchmark(ServeReads|MetricsOverhead|RegistryScrape)'
+		-baseline BENCH_PR3.json -baseline BENCH_PR8.json -baseline BENCH_PR9.json \
+		-match '^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail)'
 
 # loadtest drives the change-feed load harness in its CI smoke shape:
 # 100 concurrent subscribers against 5 seconds of continuous
