@@ -35,7 +35,9 @@ race:
 # concurrent writes) in BENCH_PR8.json, and the allocation-squeeze
 # headline — one full integration tail (sequential and 1/4/8 shards)
 # plus the streaming refresh it subsumed from the PR5 line — in
-# BENCH_PR9.json — the PR-over-PR perf trajectory. The patterns are
+# BENCH_PR9.json, and the component-partitioned trust fixpoint (cold +
+# warm at 1/2/4/8 workers over an 8-component universe) in
+# BENCH_PR10.json — the PR-over-PR perf trajectory. The patterns are
 # disjoint so nothing runs twice. Each
 # BENCH file is benchstat-comparable: `go run ./cmd/benchgate -dump
 # BENCH_PR3.json > old.txt` converts the test2json stream to the plain
@@ -50,19 +52,22 @@ bench:
 	$(GO) test -bench=BenchmarkColdVsWarmStart -benchmem -run=^$$ -json . > BENCH_PR7.json
 	$(GO) test -bench='^Benchmark(MetricsOverhead|RegistryScrape)$$' -benchmem -run=^$$ -json . > BENCH_PR8.json
 	$(GO) test -bench='^Benchmark(FullTail|StreamingRefresh)$$' -benchmem -run=^$$ -json . > BENCH_PR9.json
+	$(GO) test -bench=BenchmarkTrustFixpoint -benchmem -run=^$$ -json . > BENCH_PR10.json
 
 # bench-gate is the perf-trend gate CI runs: a fresh multi-sample run of
-# the serving-layer and telemetry benchmarks, compared against the
-# committed BENCH_*.json trajectory by cmd/benchgate. Fails on a
-# significant regression (slower than baseline × 1.5 on every sample,
-# or allocs/op above baseline × 1.15). Profiles land in bench.cpu.pprof
-# / bench.mem.pprof for inspection.
+# the serving-layer, telemetry, full-tail and trust-fixpoint benchmarks,
+# compared against the committed BENCH_*.json trajectory by cmd/benchgate.
+# Fails on a significant regression (slower than baseline × 1.5 on every
+# sample, or allocs/op above baseline × 1.15). Profiles land in
+# bench.cpu.pprof / bench.mem.pprof for inspection; BENCH_GATE_NEW.json
+# is the gate run's own output (fresh samples, not a committed baseline —
+# safe to delete, never check it in).
 bench-gate:
-	$(GO) test -bench='^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail)$$' -benchmem -count=5 -run=^$$ \
+	$(GO) test -bench='^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail|TrustFixpoint)$$' -benchmem -count=5 -run=^$$ \
 		-cpuprofile bench.cpu.pprof -memprofile bench.mem.pprof -json . > BENCH_GATE_NEW.json
 	$(GO) run ./cmd/benchgate -new BENCH_GATE_NEW.json \
-		-baseline BENCH_PR3.json -baseline BENCH_PR8.json -baseline BENCH_PR9.json \
-		-match '^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail)'
+		-baseline BENCH_PR3.json -baseline BENCH_PR8.json -baseline BENCH_PR9.json -baseline BENCH_PR10.json \
+		-match '^Benchmark(ServeReads|MetricsOverhead|RegistryScrape|FullTail|TrustFixpoint)'
 
 # loadtest drives the change-feed load harness in its CI smoke shape:
 # 100 concurrent subscribers against 5 seconds of continuous

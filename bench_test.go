@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fusion"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wrangletest"
@@ -723,4 +724,75 @@ func BenchmarkRegistryScrape(b *testing.B) {
 	close(stop)
 	wg.Wait()
 	b.ReportMetric(float64(buf.Len()), "scrape_bytes")
+}
+
+// trustBenchClaims builds a claim universe with `components` natural
+// trust-coupled components: each component has its own source set
+// conflicting over its own entities, with no source shared across
+// components, so the fixpoint decomposes into exactly `components`
+// independent problems.
+func trustBenchClaims(components, sourcesPer, groupsPer, claimsPer int) []fusion.Claim {
+	var claims []fusion.Claim
+	for c := 0; c < components; c++ {
+		for g := 0; g < groupsPer; g++ {
+			for i := 0; i < claimsPer; i++ {
+				s := (g + i) % sourcesPer
+				// Three conflicting value camps per group, far enough
+				// apart to land in distinct buckets at the default 1%
+				// tolerance.
+				v := float64(100 + 25*((g+s)%3))
+				claims = append(claims, fusion.Claim{
+					Entity:    fmt.Sprintf("c%02d-e%03d", c, g),
+					Attribute: "price",
+					Value:     dataset.Float(v),
+					SourceID:  fmt.Sprintf("c%02d-s%02d", c, s),
+				})
+			}
+		}
+	}
+	return claims
+}
+
+// BenchmarkTrustFixpoint measures the component-partitioned TruthFinder
+// fixpoint over a universe with 8 natural components, cold and warm, at
+// workers 1/2/4/8. Cold runs estimate from scratch — the worker sweep
+// shows the fan-out's scaling, and workers=1 its sequential overhead
+// versus the pre-partition fixpoint. Warm runs churn one source's claims
+// against a memo, so only that source's component re-iterates
+// (recomputed/op < components/op) — the per-component short-circuit the
+// streaming tail leans on. Results are byte-identical across all
+// variants; only the speed differs. `make bench` records this to
+// BENCH_PR10.json and `make bench-gate` compares against it.
+func BenchmarkTrustFixpoint(b *testing.B) {
+	claims := trustBenchClaims(8, 12, 40, 6)
+	workerCounts := []int{1, 2, 4, 8}
+	for _, wk := range workerCounts {
+		b.Run(fmt.Sprintf("cold/workers=%d", wk), func(b *testing.B) {
+			var st fusion.TrustStats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, st = fusion.EstimateTrustParallel(claims, fusion.DefaultOptions(fusion.TruthFinder), wk)
+			}
+			b.ReportMetric(float64(st.Components), "components/op")
+		})
+	}
+	for _, wk := range workerCounts {
+		b.Run(fmt.Sprintf("warm/workers=%d", wk), func(b *testing.B) {
+			_, memo, _, _ := fusion.EstimateTrustWarmParallel(claims, fusion.DefaultOptions(fusion.TruthFinder), nil, wk)
+			churned := append([]fusion.Claim(nil), claims...)
+			for i := range churned {
+				if churned[i].SourceID == "c00-s00" {
+					churned[i].Value = dataset.Float(999)
+				}
+			}
+			var st fusion.TrustStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _, st = fusion.EstimateTrustWarmParallel(churned, fusion.DefaultOptions(fusion.TruthFinder), memo, wk)
+			}
+			b.ReportMetric(float64(st.Components), "components/op")
+			b.ReportMetric(float64(st.Recomputed), "recomputed/op")
+		})
+	}
 }

@@ -36,7 +36,13 @@
 // (cached pair scores cover the rest), warm-starting the trust
 // fixpoint and reusing untouched shards' clusters and fused pages by
 // reference, byte-identically to the full recompute; reaction cost
-// scales with the change, not the corpus. Source re-acquisition
+// scales with the change, not the corpus. The trust fixpoint itself is
+// partitioned by trust-coupled connected components
+// (internal/fusion): sources sharing no chain of claim groups iterate
+// independently, so each component converges on its own, fans out
+// across the same worker pool, and the warm path adopts untouched
+// components' converged trust outright — float-identical at any
+// worker count. Source re-acquisition
 // overlaps on the same worker pool for providers that opt into the
 // sources.ConcurrentProvider contract. WithMetrics threads the
 // internal/obs telemetry registry through all of it — stage and task

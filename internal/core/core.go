@@ -123,6 +123,14 @@ type RunStats struct {
 	// "trust", "fuse", "merge". Published snapshot versions carry these,
 	// so a bench regression attributes to a stage.
 	Stages map[string]time.Duration
+	// TrustComponents / TrustRecomputed report the component shape of the
+	// tail's TruthFinder fixpoint: how many trust-coupled connected
+	// components the claim set split into, and how many of them actually
+	// re-iterated (cold tails recompute all; warm streaming tails adopt
+	// unchanged components from the memo). Zero for non-TruthFinder
+	// policies and empty tails.
+	TrustComponents int
+	TrustRecomputed int
 }
 
 // Wrangler is the Figure-1 architecture instance. Sources arrive through
@@ -184,6 +192,7 @@ type Wrangler struct {
 	memo         *tailMemo      // streaming sessions: the last integrated tail, diffable
 	dirtySources map[string]bool // sources whose state changed since the memoized tail
 	lastSeq      int
+	lastTrust    fusion.TrustStats // component shape of the last tail's trust estimation
 	log          *DurableLog // durable sessions: every publication appends here
 	met          *pipelineMetrics // nil unless SetMetrics enabled telemetry
 	LastStats    RunStats
@@ -231,6 +240,7 @@ func (w *Wrangler) Run() (*dataset.Table, error) {
 func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	start := time.Now()
 	w.LastStats = RunStats{}
+	w.lastTrust = fusion.TrustStats{} // an empty tail reports no components
 	srcs := w.Provider.List()
 	outcomes := make([]*sourceOutcome, len(srcs))
 	g := engine.NewGraph()
@@ -272,6 +282,8 @@ func (w *Wrangler) RunContext(ctx context.Context) (*dataset.Table, error) {
 	}
 	w.LastStats.Stages = stageTimings(g.Timings())
 	w.LastStats.Duration = time.Since(start)
+	w.LastStats.TrustComponents = w.lastTrust.Components
+	w.LastStats.TrustRecomputed = w.lastTrust.Recomputed
 	w.publish(serve.OriginRun, ReactStats{})
 	return w.wrangled, nil
 }
@@ -785,12 +797,14 @@ func (w *Wrangler) RowKey(i int) string {
 }
 
 // fuse builds claims from the union rows grouped by cluster and fuses them
-// under the context-appropriate policy.
+// under the context-appropriate policy. The TruthFinder fixpoint inside
+// fans its trust-coupled components out over the session's workers —
+// byte-identical to a sequential fuse at any parallelism.
 func (w *Wrangler) fuse() error {
 	w.entityIDs = w.entityNames()
 	claims := w.buildClaims()
-	opts := w.fusionOptions()
-	w.results = fusion.Fuse(claims, opts)
+	var opts fusion.Options
+	w.results, opts, w.lastTrust = fusion.FuseParallel(claims, w.fusionOptions(), w.workers())
 	w.supporters = nil // new results: the supporters index is stale
 	w.trust = opts.Trust
 	w.pages = nil // sequential tail: no shard pages to share

@@ -1137,10 +1137,12 @@ func (w *Wrangler) restoreWorkingState(d *DurableLog, lv *loggedVersion) error {
 // rebuildMemo reconstructs the tail memo's inputs from the restored union
 // and clusters. Shard plans, cluster representatives and claim partitions
 // are all deterministic functions of what was restored; the trust memo
-// warm-start state is not persisted (nil is always a valid cold start for
-// EstimateTrustWarm and is float-exact), and the fusion signature comes
-// from the persisted record — not the live clock — so page reuse remains
-// exactly as conservative as it was before the restart.
+// warm-start state — including the per-component converged results — is
+// not persisted (nil is always a valid cold start for EstimateTrustWarm
+// and is float-exact; the first warm reaction rebuilds the component
+// memo by recomputing every component once), and the fusion signature
+// comes from the persisted record — not the live clock — so page reuse
+// remains exactly as conservative as it was before the restart.
 func (w *Wrangler) rebuildMemo(lv *loggedVersion) {
 	must, cannot := w.pairConstraints()
 	rowKeys := w.rowKeys()

@@ -32,7 +32,15 @@ const (
 	mRows           = "wrangle_rows"
 	mVersion        = "wrangle_version"
 	mReplayTrunc    = "wrangle_wal_replay_truncations_total"
+	mTrustComps     = "wrangle_trust_components"
+	mTrustReused    = "wrangle_trust_components_reused_total"
+	mTrustIters     = "wrangle_trust_component_iterations"
 )
+
+// trustIterBuckets bounds the per-component fixpoint iteration histogram:
+// the TruthFinder iteration cap defaults to 10, so the interesting signal
+// is how far below it the per-component delta break lands.
+func trustIterBuckets() []float64 { return []float64{1, 2, 3, 4, 6, 8, 10, 15} }
 
 // pipelineMetrics holds the pre-resolved handles the hot paths bump.
 // Per-label-value handles (stage/origin histograms) are resolved through
@@ -54,6 +62,8 @@ type pipelineMetrics struct {
 	removedRecords *obs.Counter
 	rows           *obs.Gauge
 	version        *obs.Gauge
+	trustComps     *obs.Gauge
+	trustReused    *obs.Counter
 }
 
 // SetMetrics enables telemetry on the wrangler: pipeline counters and
@@ -83,13 +93,19 @@ func (w *Wrangler) SetMetrics(reg *obs.Registry) {
 		removedRecords: reg.Counter(mRemovedRecords),
 		rows:           reg.Gauge(mRows),
 		version:        reg.Gauge(mVersion),
+		trustComps:     reg.Gauge(mTrustComps),
+		trustReused:    reg.Counter(mTrustReused),
 	}
+	reg.Histogram(mTrustIters, trustIterBuckets())
 	reg.Help(mTasks, "Engine DAG tasks completed (all graphs).")
 	reg.Help(mTaskPanics, "Engine tasks that ended in a recovered panic.")
 	reg.Help(mSourceFailures, "Per-source wrangling failures (source skipped, run continued).")
 	reg.Help(mShardsResolved, "Integration shards recomputed by reactions.")
 	reg.Help(mShardsReused, "Integration shards reused by-reference by streaming reactions.")
 	reg.Help(mReuseRatio, "Reused/(resolved+reused) shards of the last reaction tail.")
+	reg.Help(mTrustComps, "Trust-coupled components in the last tail's trust estimation.")
+	reg.Help(mTrustReused, "Trust components adopted from the warm memo without re-iterating.")
+	reg.Help(mTrustIters, "Fixpoint iterations per recomputed trust component.")
 	w.met = m
 	if w.Serve != nil {
 		w.Serve.Instrument(reg)
@@ -155,6 +171,17 @@ func (w *Wrangler) observePublish(origin serve.Origin, react ReactStats, v *Publ
 		m.shardsResolved.Add(int64(resolved))
 		m.shardsReused.Add(int64(reused))
 		m.reuseRatio.Set(float64(reused) / float64(resolved+reused))
+	}
+	// w.lastTrust describes exactly the tail this publication came from
+	// (runTail/RunContext reset it per tail), so it is the one source of
+	// truth for both run and reaction origins.
+	if ts := w.lastTrust; ts.Components > 0 {
+		m.trustComps.Set(float64(ts.Components))
+		m.trustReused.Add(int64(ts.Components - ts.Recomputed))
+		h := m.reg.Histogram(mTrustIters, trustIterBuckets())
+		for _, it := range ts.Iterations {
+			h.Observe(float64(it))
+		}
 	}
 	cs := v.Changes()
 	if cs.Full {

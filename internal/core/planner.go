@@ -125,6 +125,16 @@ func (w *Wrangler) runTail(ctx context.Context, scope tailScope, stats *ReactSta
 	if stats.Stages == nil {
 		stats.Stages = map[string]time.Duration{}
 	}
+	// Every tail path below funnels its trust estimation through
+	// w.lastTrust (the fuse barrier / sequential fuse both write it);
+	// reset first so a tail that never estimates trust — empty union,
+	// non-TruthFinder policy — reports zero components, then snapshot
+	// whatever the tail recorded on the way out.
+	w.lastTrust = fusion.TrustStats{}
+	defer func() {
+		stats.TrustComponents = w.lastTrust.Components
+		stats.TrustRecomputed = w.lastTrust.Recomputed
+	}()
 	if w.IntegrationShards <= 0 {
 		if scope == tailFuseOnly {
 			if err := w.fuse(); err != nil {

@@ -296,23 +296,27 @@ func (w *Wrangler) shardClusterStage(sr *shardRun) error {
 	return nil
 }
 
-// estimateTrust runs the one inherently global stage of fusion. On
-// streaming sessions the TruthFinder fixpoint warm-starts from the
-// memoized group state — unchanged (entity, attribute) groups keep their
-// prepared buckets, and when no dirty claim touches any trust-coupled
-// group (and the feedback seeds held) the fixpoint short-circuits to the
-// memoized trust outright. Either way the result is float-exact with the
-// cold EstimateTrust the non-streaming tails run.
+// estimateTrust runs the one cross-shard stage of fusion, fanning the
+// fixpoint's trust-coupled components out over the session's workers
+// (byte-identical to sequential at any count). On streaming sessions the
+// TruthFinder fixpoint warm-starts from the memoized group state —
+// unchanged (entity, attribute) groups keep their prepared buckets, and
+// the short-circuit is per component: a reaction that dirties one
+// component's claims re-iterates that component only, adopting the
+// others' memoized trust (and when nothing relevant changed at all, no
+// component iterates). Either way the result is float-exact with the
+// cold EstimateTrust the non-streaming tails run. Runs inside the single
+// cluster-barrier task, so writing w.lastTrust is race-free.
 func (sr *shardRun) estimateTrust(w *Wrangler, claims []fusion.Claim) {
 	if !w.StreamingRefresh {
-		sr.opts = fusion.EstimateTrust(claims, w.fusionOptions())
+		sr.opts, w.lastTrust = fusion.EstimateTrustParallel(claims, w.fusionOptions(), w.workers())
 		return
 	}
 	var prev *fusion.TrustMemo
 	if w.memo != nil {
 		prev = w.memo.trust
 	}
-	sr.opts, sr.trustMemo, _ = fusion.EstimateTrustWarm(claims, w.fusionOptions(), prev)
+	sr.opts, sr.trustMemo, _, w.lastTrust = fusion.EstimateTrustWarmParallel(claims, w.fusionOptions(), prev, w.workers())
 }
 
 // shardFuseStage fuses one shard's claims under the globally estimated

@@ -170,16 +170,27 @@ func groupClaims(claims []Claim) (map[string][]Claim, []string) {
 // Fuse resolves all claims into one result per (entity, attribute).
 // Results are sorted by entity then attribute for determinism.
 func Fuse(claims []Claim, opts Options) []Result {
+	out, _, _ := FuseParallel(claims, opts, 1)
+	return out
+}
+
+// FuseParallel is Fuse with the TruthFinder fixpoint fanned out over
+// workers goroutines (per trust-coupled component — byte-identical to
+// Fuse at any worker count), returning the resolved options and the
+// component stats alongside the results. Claims are grouped once and
+// shared between trust estimation and per-group fusion.
+func FuseParallel(claims []Claim, opts Options, workers int) ([]Result, Options, TrustStats) {
 	opts = opts.normalized()
 	groups, keys := groupClaims(claims)
+	var st TrustStats
 	if opts.Policy == TruthFinder {
-		estimateTrust(groups, keys, &opts)
+		st = estimateTrust(groups, keys, &opts, workers)
 	}
 	out := make([]Result, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, fuseGroup(groups[k], opts))
 	}
-	return out
+	return out, opts, st
 }
 
 // EstimateTrust runs the global half of fusion — the TruthFinder trust
@@ -190,12 +201,23 @@ func Fuse(claims []Claim, opts Options) []Result {
 // fusion that couples (entity, attribute) groups to each other, so once
 // it has run, disjoint claim subsets fuse independently.
 func EstimateTrust(claims []Claim, opts Options) Options {
+	opts, _ = EstimateTrustParallel(claims, opts, 1)
+	return opts
+}
+
+// EstimateTrustParallel is EstimateTrust with the per-component fixpoints
+// fanned out over workers goroutines. The component partition makes the
+// fan-out exact rather than approximate — see runTrustFixpoint — so the
+// result is byte-identical to EstimateTrust at any worker count. The
+// returned TrustStats reports the component shape of the estimation.
+func EstimateTrustParallel(claims []Claim, opts Options, workers int) (Options, TrustStats) {
 	opts = opts.normalized()
+	var st TrustStats
 	if opts.Policy == TruthFinder {
 		groups, keys := groupClaims(claims)
-		estimateTrust(groups, keys, &opts)
+		st = estimateTrust(groups, keys, &opts, workers)
 	}
-	return opts
+	return opts, st
 }
 
 // FuseResolved fuses claims taking source trust as given: no fixpoint
@@ -403,15 +425,17 @@ func TrustOf(trust map[string]float64, defaultTrust float64, sourceID string) fl
 // it confidences and tie-broken winners) vary run to run.
 // Bucket formation is iteration-invariant (membership depends only on
 // values, not weights), so each group is prepared once and the fixpoint
-// runs over the prepared state instead of re-bucketizing every group on
-// every iteration. runTrustFixpoint is float-exact with the inline loop
-// this replaced — pinned by the equivalence property test in trust_test.
-func estimateTrust(groups map[string][]Claim, keys []string, opts *Options) {
-	tg := make(map[string]*trustGroup, len(keys))
-	for _, k := range keys {
-		tg[k] = prepareTrustGroup(groups[k], opts.NumericTolerance)
-	}
-	runTrustFixpoint(keys, tg, opts)
+// runs over the prepared state, partitioned by trust-coupled component
+// with a per-component convergence break — the reference the
+// float-exactness property tests in trust_test are pinned against.
+// Preparation is per-group pure (each group's buckets depend only on its
+// own claims), so with workers it fans out through the engine alongside
+// the component fixpoints — profiles put prepare ahead of the iteration
+// loop on cold estimations, so parallelising only the fixpoint would
+// leave the larger half of the stage sequential.
+func estimateTrust(groups map[string][]Claim, keys []string, opts *Options, workers int) TrustStats {
+	tg := prepareTrustGroups(groups, keys, opts.NumericTolerance, workers)
+	return runTrustFixpoint(keys, tg, opts, workers)
 }
 
 // Accuracy scores fused results against a truth lookup: the fraction of

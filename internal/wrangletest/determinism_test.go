@@ -48,6 +48,26 @@ func TestStreamingPipelineMatchesFullTail(t *testing.T) {
 	}
 }
 
+// TestParallelTrustPipelineMatchesFullTail extends the streaming sweep
+// across the trust fixpoint's worker fan-out: streaming sessions at
+// workers 1/2/4/8 × shards 1/4 must stay byte-identical to a strictly
+// sequential (workers=1) full-tail baseline after the initial run and
+// after every reaction. The adopted-component total must be positive
+// across the sweep: a warm path that silently recomputed every component
+// would pass the identity check without testing the short-circuit.
+func TestParallelTrustPipelineMatchesFullTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline determinism sweep is not -short")
+	}
+	adopted := 0
+	for _, seed := range []int64{5, 23} {
+		adopted += CheckParallelTrustDeterminism(t, seed, 6, 4, []int{1, 2, 4, 8}, []int{1, 4})
+	}
+	if adopted == 0 {
+		t.Fatal("parallel trust sweep never adopted a memoized component — the per-component short-circuit did not engage")
+	}
+}
+
 // TestStreamingRePlanMatchesFresh drives the er-layer streaming property
 // over many seeded random tables and mutation scripts: memoize a
 // resolved plan, mutate the table, and the incremental re-plan (dirty

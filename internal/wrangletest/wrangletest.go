@@ -347,6 +347,79 @@ func CheckStreamingDeterminism(t testing.TB, seed int64, nSources, steps int, sh
 	return reused
 }
 
+// CheckParallelTrustDeterminism extends the streaming acceptance property
+// across the trust fixpoint's worker fan-out: a strictly sequential
+// full-tail baseline (workers=1, so the trust stage runs the sequential
+// per-component reference) against one streaming variant per
+// (workers × shards) pair, all pushed through the same seeded script.
+// Every variant must fingerprint identically to the baseline after every
+// step — pinning that the component fan-out is byte-identical at every
+// worker count while the warm path adopts unchanged components. It
+// returns the total trust components adopted from the memo across all
+// variants and steps, so callers can assert the per-component
+// short-circuit actually engaged.
+func CheckParallelTrustDeterminism(t testing.TB, seed int64, nSources, steps int, workerCounts, shardCounts []int) int {
+	t.Helper()
+	ctx := context.Background()
+	base := NewWrangler(seed, nSources, 0)
+	base.Parallelism = 1
+	if _, err := base.Run(); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	type variant struct {
+		workers, shards int
+		w               *core.Wrangler
+	}
+	var variants []variant
+	for _, wk := range workerCounts {
+		for _, n := range shardCounts {
+			w := NewStreamingWrangler(seed, nSources, n)
+			w.Parallelism = wk
+			if _, err := w.Run(); err != nil {
+				t.Fatalf("workers=%d shards=%d run: %v", wk, n, err)
+			}
+			variants = append(variants, variant{workers: wk, shards: n, w: w})
+		}
+	}
+	compare := func(stage string) {
+		t.Helper()
+		want := Fingerprint(base)
+		for _, v := range variants {
+			if got := Fingerprint(v.w); got != want {
+				t.Fatalf("workers=%d shards=%d diverged from sequential full tail at %s:\n%s",
+					v.workers, v.shards, stage, firstDiff(want, got))
+			}
+		}
+	}
+	compare("initial run")
+
+	trustAdopted := 0
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	for _, step := range Script(rng, base, steps) {
+		_, refErr, err := step.Apply(ctx, base)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", step.Name, err)
+		}
+		for _, v := range variants {
+			stats, vErr, err := step.Apply(ctx, v.w)
+			if err != nil {
+				t.Fatalf("%s: workers=%d shards=%d: %v", step.Name, v.workers, v.shards, err)
+			}
+			if vErr != refErr {
+				t.Fatalf("%s: workers=%d shards=%d error diverged:\nfull:     %q\nvariant:  %q",
+					step.Name, v.workers, v.shards, refErr, vErr)
+			}
+			if stats.TrustRecomputed > stats.TrustComponents {
+				t.Fatalf("%s: workers=%d shards=%d recomputed %d of %d trust components",
+					step.Name, v.workers, v.shards, stats.TrustRecomputed, stats.TrustComponents)
+			}
+			trustAdopted += stats.TrustComponents - stats.TrustRecomputed
+		}
+		compare(step.Name)
+	}
+	return trustAdopted
+}
+
 // firstDiff renders the first differing line of two fingerprints with a
 // little context — a full dump of two multi-hundred-line fingerprints
 // helps nobody.

@@ -187,12 +187,15 @@ func WithSyntheticSources(n int) Option {
 	}
 }
 
-// WithParallelism bounds how many sources the session processes
-// concurrently (n >= 1). Sources are independent until the selection
-// barrier, so their extract/match/map chains fan out over n workers on
-// the internal engine; results merge in stable provider order, making a
-// parallel run byte-identical to a sequential one. By default a session
-// uses one worker per CPU.
+// WithParallelism bounds how many workers the session's engine uses
+// (n >= 1). Sources are independent until the selection barrier, so
+// their extract/match/map chains fan out over n workers; results merge
+// in stable provider order. The same bound reaches the integration
+// tail's trust stage: the TruthFinder fixpoint partitions its claim set
+// into trust-coupled connected components and iterates them on n
+// workers, merging per-component trust in sorted component order. Both
+// fan-outs make a parallel run byte-identical to a sequential one at
+// any n. By default a session uses one worker per CPU.
 func WithParallelism(n int) Option {
 	return func(s *settings) error {
 		if n < 1 {
